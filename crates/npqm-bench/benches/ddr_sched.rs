@@ -1,0 +1,108 @@
+//! Criterion benches of the DDR schedulers (Table 1's engine) plus two
+//! ablations: the reordering run limit and the access pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npqm_mem::ddr::DdrConfig;
+use npqm_mem::pattern::{HotBank, RandomBanks, SequentialBanks};
+use npqm_mem::sched::{run_schedule, NaiveRoundRobin, Reordering};
+use std::hint::black_box;
+
+const SLOTS: u64 = 20_000;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddr_schedulers_8banks");
+    group.throughput(Throughput::Elements(SLOTS));
+    group.bench_function("naive_round_robin", |b| {
+        let cfg = DdrConfig::paper(8);
+        b.iter(|| {
+            black_box(run_schedule(
+                &cfg,
+                NaiveRoundRobin::new(),
+                RandomBanks::new(8, 1),
+                SLOTS,
+            ))
+        });
+    });
+    group.bench_function("reordering", |b| {
+        let cfg = DdrConfig::paper(8);
+        b.iter(|| {
+            black_box(run_schedule(
+                &cfg,
+                Reordering::new(),
+                RandomBanks::new(8, 1),
+                SLOTS,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_run_limit_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: the same-direction run limit trades turnaround
+    // loss against grouping latency. Measured as achieved utilization.
+    let mut group = c.benchmark_group("reordering_run_limit");
+    for max_run in [1u32, 2, 3, 6] {
+        group.bench_function(format!("run_{max_run}"), |b| {
+            let cfg = DdrConfig::paper(8);
+            b.iter(|| {
+                black_box(run_schedule(
+                    &cfg,
+                    Reordering::with_max_run(max_run),
+                    RandomBanks::new(8, 2),
+                    SLOTS,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("access_patterns");
+    let cfg = DdrConfig::paper(8);
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            black_box(run_schedule(
+                &cfg,
+                Reordering::new(),
+                RandomBanks::new(8, 3),
+                SLOTS,
+            ))
+        });
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(run_schedule(
+                &cfg,
+                Reordering::new(),
+                SequentialBanks::new(8, 4),
+                SLOTS,
+            ))
+        });
+    });
+    group.bench_function("hot_bank", |b| {
+        b.iter(|| {
+            black_box(run_schedule(
+                &cfg,
+                Reordering::new(),
+                HotBank::new(8, 0.7, 3),
+                SLOTS,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(25)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_schedulers, bench_run_limit_ablation, bench_patterns
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches of the MMS model: per-command execution and the
+//! full-system cycle loop, plus the DMC lookahead ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npqm_core::FlowId;
+use npqm_mms::command::MmsCommand;
+use npqm_mms::dmc::{Dmc, DmcConfig};
+use npqm_mms::microcode::execution_cycles;
+use npqm_mms::mms::{Mms, MmsConfig};
+use npqm_mms::scheduler::Port;
+use npqm_sim::time::Cycle;
+use std::hint::black_box;
+
+fn bench_microcode(c: &mut Criterion) {
+    c.bench_function("table4_all_commands", |b| {
+        b.iter(|| {
+            for cmd in MmsCommand::ALL {
+                black_box(execution_cycles(black_box(cmd)));
+            }
+        });
+    });
+}
+
+fn bench_system_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mms_system");
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("saturated_enq_deq_2k_cycles", |b| {
+        b.iter(|| {
+            let mut mms = Mms::new(MmsConfig::paper());
+            for f in 0..8 {
+                mms.preload(FlowId::new(f), 16);
+            }
+            for t in 0..2_000u64 {
+                let now = Cycle::new(t);
+                if t % 2 == 0 {
+                    mms.submit(now, Port::In, MmsCommand::Enqueue, FlowId::new((t % 8) as u32));
+                } else {
+                    mms.submit(now, Port::Out, MmsCommand::Dequeue, FlowId::new((t % 8) as u32));
+                }
+                mms.tick(now);
+            }
+            black_box(mms.stats().served.get())
+        });
+    });
+    group.finish();
+}
+
+fn bench_dmc_lookahead(c: &mut Criterion) {
+    // DESIGN.md ablation: the DMC's bank-interleaving lookahead window.
+    let mut group = c.benchmark_group("dmc_lookahead");
+    for lookahead in [1usize, 2, 4, 8] {
+        group.bench_function(format!("window_{lookahead}"), |b| {
+            b.iter(|| {
+                let cfg = DmcConfig {
+                    lookahead,
+                    ..DmcConfig::paper()
+                };
+                let mut dmc = Dmc::new(cfg, 9);
+                for i in 0..64u64 {
+                    dmc.push(Cycle::new(i), i % 2 == 0);
+                }
+                for t in 0..2_000u64 {
+                    dmc.tick(Cycle::new(t));
+                }
+                black_box(dmc.delay_stats().mean())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(25)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_microcode, bench_system_loop, bench_dmc_lookahead
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches of the platform models (IXP chip, NPU accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npqm_ixp::chip::IxpChip;
+use npqm_npu::swqm::CopyStrategy;
+use npqm_npu::system::NpuSystem;
+use npqm_core::FlowId;
+use std::hint::black_box;
+
+fn bench_ixp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ixp_chip");
+    for queues in [16u32, 128, 1024] {
+        group.bench_function(format!("6_engines_{queues}q_100k_cycles"), |b| {
+            b.iter(|| black_box(IxpChip::new(6, queues).run_packets(100_000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_npu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npu_packet_path");
+    group.throughput(Throughput::Elements(1));
+    for (name, strategy) in [
+        ("single_beat", CopyStrategy::SingleBeat),
+        ("line_transactions", CopyStrategy::LineTransaction),
+        ("dma", CopyStrategy::Dma),
+    ] {
+        group.bench_function(name, |b| {
+            let mut npu = NpuSystem::paper();
+            let pkt = [0u8; 64];
+            let flow = FlowId::new(3);
+            b.iter(|| {
+                npu.enqueue_packet(flow, black_box(&pkt), strategy).unwrap();
+                black_box(npu.dequeue_packet(flow, strategy).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(25)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ixp, bench_npu
+}
+criterion_main!(benches);

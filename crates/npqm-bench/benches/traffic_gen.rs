@@ -1,0 +1,92 @@
+//! Criterion benches of the traffic generators and packet codecs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npqm_sim::time::Picos;
+use npqm_traffic::arrival::{ArrivalGen, ArrivalProcess};
+use npqm_traffic::flows::FlowMix;
+use npqm_traffic::packet::{aal5_decode, aal5_encode, EthernetFrame, Ipv4Packet, MacAddr};
+use npqm_traffic::size::SizeDistribution;
+use npqm_traffic::trace::Trace;
+use std::hint::black_box;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codecs");
+    let frame = EthernetFrame {
+        dst: MacAddr([1; 6]),
+        src: MacAddr([2; 6]),
+        vlan: Some(npqm_traffic::packet::VlanTag { pcp: 5, vid: 100 }),
+        ethertype: 0x0800,
+        payload: vec![0; 1500],
+    }
+    .to_bytes();
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("ethernet_parse_1500B", |b| {
+        b.iter(|| black_box(EthernetFrame::parse(black_box(&frame)).unwrap()));
+    });
+    let ip = Ipv4Packet {
+        src: [10, 0, 0, 1],
+        dst: [10, 0, 0, 2],
+        protocol: 6,
+        ttl: 64,
+        payload: vec![0; 1480],
+    }
+    .to_bytes();
+    group.bench_function("ipv4_parse_and_verify", |b| {
+        b.iter(|| black_box(Ipv4Packet::parse(black_box(&ip)).unwrap()));
+    });
+    let pdu = vec![7u8; 1500];
+    group.bench_function("aal5_encode_decode_1500B", |b| {
+        b.iter(|| {
+            let cells = aal5_encode(0, 32, black_box(&pdu));
+            black_box(aal5_decode(&cells).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("trace_10k_poisson_imix_zipf", |b| {
+        let mix = FlowMix::zipf(1024, 1.0);
+        b.iter(|| {
+            black_box(Trace::generate(
+                10_000,
+                ArrivalProcess::Poisson {
+                    mean_interval: Picos::from_nanos(100),
+                },
+                SizeDistribution::Imix,
+                &mix,
+                7,
+            ))
+        });
+    });
+    group.bench_function("arrivals_10k_onoff", |b| {
+        b.iter(|| {
+            let gen = ArrivalGen::new(
+                ArrivalProcess::OnOff {
+                    on_interval: Picos::from_nanos(50),
+                    mean_burst: 8.0,
+                    mean_off: Picos::from_nanos(2_000),
+                },
+                3,
+            );
+            black_box(gen.take(10_000).last())
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(25)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_codecs, bench_generators
+}
+criterion_main!(benches);

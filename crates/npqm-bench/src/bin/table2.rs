@@ -1,0 +1,37 @@
+//! Regenerates Table 2: maximum rate serviced by queue management on the
+//! IXP1200.
+
+use npqm_bench::{compare_header, compare_row};
+use npqm_ixp::perf::{claim_max_bandwidth_1k_queues, run_table2, PAPER_TABLE2};
+
+fn main() {
+    let horizon = 8_000_000; // 40 ms of 200 MHz chip time
+    let rows = run_table2(horizon);
+    println!(
+        "{}",
+        compare_header("Table 2: IXP1200 maximum serviced rate (queue management only)")
+    );
+    for (sim, paper) in rows.iter().zip(PAPER_TABLE2.iter()) {
+        println!(
+            "{}",
+            compare_row(
+                &format!("{:>5} queues, 1 microengine (Kpps)", sim.queues),
+                paper.one_engine.get(),
+                sim.one_engine.get()
+            )
+        );
+        println!(
+            "{}",
+            compare_row(
+                &format!("{:>5} queues, 6 microengines (Mpps)", sim.queues),
+                paper.six_engines.get(),
+                sim.six_engines.get()
+            )
+        );
+    }
+    println!(
+        "\nheadline (§4): with 1K queues and 64-byte packets the whole IXP \
+         sustains {} (paper: \"cannot support more than 150 Mbps\")",
+        claim_max_bandwidth_1k_queues(horizon)
+    );
+}

@@ -1,0 +1,75 @@
+//! Regenerates Table 3: cycles per packet operation on the NPU prototype,
+//! plus the §5.3 copy optimizations.
+
+use npqm_bench::{compare_header, compare_row};
+use npqm_npu::swqm::{run_table3, CopyStrategy, PAPER_TABLE3};
+use npqm_npu::system::NpuSystem;
+
+fn main() {
+    let t = run_table3(CopyStrategy::SingleBeat);
+    let p = PAPER_TABLE3;
+    println!(
+        "{}",
+        compare_header("Table 3: cycles per packet operation (PowerPC 405 @ 100 MHz)")
+    );
+    let rows = [
+        (
+            "Dequeue Free List (enqueue path)",
+            p.free_list_enqueue,
+            t.free_list_enqueue,
+        ),
+        (
+            "Free list handling (dequeue path)",
+            p.free_list_dequeue,
+            t.free_list_dequeue,
+        ),
+        (
+            "Enqueue Segment (first of packet)",
+            p.enqueue_segment_first,
+            t.enqueue_segment_first,
+        ),
+        (
+            "Enqueue Segment (rest)",
+            p.enqueue_segment_rest,
+            t.enqueue_segment_rest,
+        ),
+        ("Dequeue Segment", p.dequeue_segment, t.dequeue_segment),
+        ("Copy a segment", p.copy_segment, t.copy_segment),
+        (
+            "Total enqueue (first segment)",
+            p.total_enqueue_first,
+            t.total_enqueue_first,
+        ),
+        (
+            "Total enqueue (rest)",
+            p.total_enqueue_rest,
+            t.total_enqueue_rest,
+        ),
+        ("Total dequeue", p.total_dequeue, t.total_dequeue),
+    ];
+    for (label, paper, measured) in rows {
+        println!("{}", compare_row(label, paper as f64, measured as f64));
+    }
+
+    println!("\n§5.3 optimizations (full-duplex 64-byte packet budget, enqueue+dequeue):");
+    let npu = NpuSystem::paper();
+    for (name, strategy, paper_hint) in [
+        ("single-beat copy", CopyStrategy::SingleBeat, "~100 Mbps"),
+        (
+            "PLB line transactions",
+            CopyStrategy::LineTransaction,
+            "~200 Mbps",
+        ),
+        (
+            "DMA engine (CPU cycles only)",
+            CopyStrategy::Dma,
+            "~200 Mbps + free CPU",
+        ),
+    ] {
+        println!(
+            "  {name:<30} {:>4} cycles/packet  ->  {}  (paper: {paper_hint})",
+            npu.full_duplex_cycles(strategy),
+            npu.supported_rate(strategy),
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 4: latency of the MMS commands.
+
+use npqm_bench::{compare_header, compare_row};
+use npqm_mms::microcode::{run_table4, PAPER_TABLE4};
+
+fn main() {
+    println!(
+        "{}",
+        compare_header("Table 4: MMS command execution latency (125 MHz cycles)")
+    );
+    for ((cmd, measured), (_, paper)) in run_table4().iter().zip(PAPER_TABLE4.iter()) {
+        println!(
+            "{}",
+            compare_row(cmd.name(), *paper as f64, *measured as f64)
+        );
+    }
+    println!(
+        "\nheadline (§6.1): enqueue/dequeue mix executes in (10+11)/2 = 10.5 \
+         cycles -> one operation per 84 ns at 125 MHz"
+    );
+}

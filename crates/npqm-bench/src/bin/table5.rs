@@ -1,0 +1,59 @@
+//! Regenerates Table 5: MMS delays vs. offered load, and emits the
+//! latency-vs-load series as CSV (the paper's only curve-shaped dataset).
+
+use npqm_bench::{compare_header, compare_row};
+use npqm_mms::perf::{run_table5, saturation_throughput, PAPER_TABLE5};
+
+fn main() {
+    let rows = run_table5(42);
+    println!(
+        "{}",
+        compare_header("Table 5: MMS delays (cycles) vs offered load")
+    );
+    for (sim, paper) in rows.iter().zip(PAPER_TABLE5.iter()) {
+        let l = sim.load_gbps;
+        println!(
+            "{}",
+            compare_row(
+                &format!("{l:>5.2} Gbps  FIFO delay"),
+                paper.fifo_delay,
+                sim.fifo_delay
+            )
+        );
+        println!(
+            "{}",
+            compare_row(
+                &format!("{l:>5.2} Gbps  execution delay"),
+                paper.execution_delay,
+                sim.execution_delay
+            )
+        );
+        println!(
+            "{}",
+            compare_row(
+                &format!("{l:>5.2} Gbps  data delay"),
+                paper.data_delay,
+                sim.data_delay
+            )
+        );
+        println!(
+            "{}",
+            compare_row(&format!("{l:>5.2} Gbps  total"), paper.total, sim.total)
+        );
+    }
+
+    let (mpps, gbps) = saturation_throughput(42);
+    println!(
+        "\nheadline (§6.1): saturation throughput {mpps} = {gbps} \
+         (paper: 12 Mops/s = 6.145 Gbps; model ceiling 125 MHz / 10.5 cy = 6.095 Gbps)"
+    );
+
+    println!("\nlatency-vs-load series (CSV):");
+    println!("load_gbps,fifo_delay,execution_delay,data_delay,total");
+    for r in rows.iter().rev() {
+        println!(
+            "{},{:.1},{:.1},{:.1},{:.1}",
+            r.load_gbps, r.fifo_delay, r.execution_delay, r.data_delay, r.total
+        );
+    }
+}

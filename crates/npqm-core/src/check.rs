@@ -1,0 +1,287 @@
+//! Structural invariant verification.
+//!
+//! The queue engine maintains redundant state (counts in queue records and
+//! packet records, plus the linked structure itself). `verify` walks the
+//! whole pointer memory and cross-checks everything; the test suite and the
+//! property tests call it after every operation sequence.
+
+use crate::id::{FlowId, PacketId, SegmentId};
+use crate::manager::QueueManager;
+use core::fmt;
+use std::collections::HashSet;
+
+/// A violated invariant, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// What went wrong, and where.
+    pub what: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violated: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Summary of a successful verification pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvariantReport {
+    /// Queues inspected.
+    pub queues: u32,
+    /// Segments found linked into queues.
+    pub segments_used: u32,
+    /// Segments found on the free list.
+    pub segments_free: u32,
+    /// Packet records found linked into queues.
+    pub packets_used: u32,
+    /// Packet records found on the free list.
+    pub packets_free: u32,
+}
+
+fn violation<T>(what: impl Into<String>) -> Result<T, InvariantViolation> {
+    Err(InvariantViolation { what: what.into() })
+}
+
+/// Verifies every structural invariant of `qm`:
+///
+/// 1. every per-packet segment chain is well-formed (`first → … → last`,
+///    terminated, acyclic) and its `segs`/`bytes` counters match the walk;
+/// 2. every queue's packet chain is well-formed and the queue's counters
+///    (`pkts`, `complete_pkts`, `segs`, `bytes`) match;
+/// 3. an `open` queue has a tail packet, a non-open queue has
+///    `complete_pkts == pkts`;
+/// 4. only a queue's head packet may be partially consumed (`started`);
+/// 5. no segment or packet record is referenced twice;
+/// 6. the free lists and the queues exactly partition both index spaces;
+/// 7. every linked segment has a non-zero length within the segment size.
+///
+/// # Errors
+///
+/// Returns the first [`InvariantViolation`] found.
+pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> {
+    let cfg = &qm.cfg;
+    let pm = &qm.ptr;
+    let mut used_segs: HashSet<SegmentId> = HashSet::new();
+    let mut used_pkts: HashSet<PacketId> = HashSet::new();
+
+    for f in 0..cfg.num_flows() {
+        let flow = FlowId::new(f);
+        let q = pm.queue_silent(flow);
+        let mut pkts = 0u32;
+        let mut segs = 0u32;
+        let mut bytes = 0u64;
+        let mut pid = q.head_pkt;
+        let mut last_seen = PacketId::NIL;
+        while !pid.is_nil() {
+            if !used_pkts.insert(pid) {
+                return violation(format!("{flow}: packet {pid} referenced twice"));
+            }
+            let pr = pm.pkt_silent(pid);
+            if pr.started && pid != q.head_pkt {
+                return violation(format!(
+                    "{flow}: non-head packet {pid} is partially consumed"
+                ));
+            }
+            // Walk the segment chain of this packet.
+            let mut seg = pr.first;
+            let mut seg_count = 0u32;
+            let mut byte_count = 0u32;
+            let mut reached_last = false;
+            while !seg.is_nil() {
+                if !used_segs.insert(seg) {
+                    return violation(format!("{flow}: segment {seg} referenced twice"));
+                }
+                let rec = pm.seg_silent(seg);
+                if rec.len == 0 || rec.len as u32 > cfg.segment_bytes() {
+                    return violation(format!(
+                        "{flow}: segment {seg} has bad length {}",
+                        rec.len
+                    ));
+                }
+                seg_count += 1;
+                byte_count += rec.len as u32;
+                if seg_count > pr.segs {
+                    return violation(format!(
+                        "{flow}: packet {pid} chain longer than its count {}",
+                        pr.segs
+                    ));
+                }
+                if seg == pr.last {
+                    reached_last = true;
+                    if !rec.next.is_nil() {
+                        return violation(format!(
+                            "{flow}: last segment {seg} of {pid} has a successor"
+                        ));
+                    }
+                }
+                seg = rec.next;
+            }
+            if !reached_last {
+                return violation(format!("{flow}: packet {pid} never reaches its last"));
+            }
+            if seg_count != pr.segs {
+                return violation(format!(
+                    "{flow}: packet {pid} counts {} segments, walk found {seg_count}",
+                    pr.segs
+                ));
+            }
+            if byte_count != pr.bytes {
+                return violation(format!(
+                    "{flow}: packet {pid} counts {} bytes, walk found {byte_count}",
+                    pr.bytes
+                ));
+            }
+            pkts += 1;
+            segs += seg_count;
+            bytes += byte_count as u64;
+            last_seen = pid;
+            pid = pr.next_pkt;
+            if pkts > q.pkts {
+                return violation(format!("{flow}: packet chain longer than count {}", q.pkts));
+            }
+        }
+        if pkts != q.pkts {
+            return violation(format!(
+                "{flow}: queue counts {} packets, walk found {pkts}",
+                q.pkts
+            ));
+        }
+        if segs != q.segs {
+            return violation(format!(
+                "{flow}: queue counts {} segments, walk found {segs}",
+                q.segs
+            ));
+        }
+        if bytes != q.bytes {
+            return violation(format!(
+                "{flow}: queue counts {} bytes, walk found {bytes}",
+                q.bytes
+            ));
+        }
+        if q.tail_pkt != last_seen {
+            return violation(format!(
+                "{flow}: tail is {} but walk ended at {last_seen}",
+                q.tail_pkt
+            ));
+        }
+        let expected_complete = if q.open { q.pkts.saturating_sub(1) } else { q.pkts };
+        if q.complete_pkts != expected_complete {
+            return violation(format!(
+                "{flow}: complete_pkts {} != expected {expected_complete}",
+                q.complete_pkts
+            ));
+        }
+        if q.open && q.tail_pkt.is_nil() {
+            return violation(format!("{flow}: open queue without a tail packet"));
+        }
+    }
+
+    // Free lists must exactly cover the rest of both index spaces.
+    let free_segs = qm.seg_fl.collect_free(pm);
+    if free_segs.len() as u32 != qm.seg_fl.free_count() {
+        return violation(format!(
+            "segment free list count {} != walk length {}",
+            qm.seg_fl.free_count(),
+            free_segs.len()
+        ));
+    }
+    let mut free_seg_set = HashSet::new();
+    for s in &free_segs {
+        if used_segs.contains(s) {
+            return violation(format!("segment {s} is both free and in use"));
+        }
+        if !free_seg_set.insert(*s) {
+            return violation(format!("segment {s} appears twice on the free list"));
+        }
+    }
+    if used_segs.len() + free_seg_set.len() != cfg.num_segments() as usize {
+        return violation(format!(
+            "segment space not partitioned: {} used + {} free != {}",
+            used_segs.len(),
+            free_seg_set.len(),
+            cfg.num_segments()
+        ));
+    }
+
+    let free_pkts = qm.pkt_fl.collect_free(pm);
+    if free_pkts.len() as u32 != qm.pkt_fl.free_count() {
+        return violation(format!(
+            "packet free list count {} != walk length {}",
+            qm.pkt_fl.free_count(),
+            free_pkts.len()
+        ));
+    }
+    let mut free_pkt_set = HashSet::new();
+    for p in &free_pkts {
+        if used_pkts.contains(p) {
+            return violation(format!("packet {p} is both free and in use"));
+        }
+        if !free_pkt_set.insert(*p) {
+            return violation(format!("packet {p} appears twice on the free list"));
+        }
+    }
+    if used_pkts.len() + free_pkt_set.len() != cfg.num_segments() as usize {
+        return violation(format!(
+            "packet space not partitioned: {} used + {} free != {}",
+            used_pkts.len(),
+            free_pkt_set.len(),
+            cfg.num_segments()
+        ));
+    }
+
+    Ok(InvariantReport {
+        queues: cfg.num_flows(),
+        segments_used: used_segs.len() as u32,
+        segments_free: free_seg_set.len() as u32,
+        packets_used: used_pkts.len() as u32,
+        packets_free: free_pkt_set.len() as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QmConfig;
+    use crate::manager::SegmentPosition;
+
+    #[test]
+    fn fresh_engine_verifies() {
+        let qm = QueueManager::new(QmConfig::small());
+        let report = verify(&qm).unwrap();
+        assert_eq!(report.segments_used, 0);
+        assert_eq!(report.segments_free, 512);
+        assert_eq!(report.packets_free, 512);
+        assert_eq!(report.queues, 64);
+    }
+
+    #[test]
+    fn busy_engine_verifies_and_counts() {
+        let mut qm = QueueManager::new(QmConfig::small());
+        for f in 0..8u32 {
+            qm.enqueue_packet(FlowId::new(f), &[f as u8; 100]).unwrap();
+        }
+        let report = verify(&qm).unwrap();
+        assert_eq!(report.segments_used, 16); // 2 per packet
+        assert_eq!(report.packets_used, 8);
+        assert_eq!(report.segments_free, 512 - 16);
+    }
+
+    #[test]
+    fn open_packet_verifies() {
+        let mut qm = QueueManager::new(QmConfig::small());
+        qm.enqueue(FlowId::new(0), &[1; 64], SegmentPosition::First)
+            .unwrap();
+        verify(&qm).unwrap();
+    }
+
+    #[test]
+    fn report_default_and_display() {
+        assert_eq!(InvariantReport::default().queues, 0);
+        let v = InvariantViolation {
+            what: "x".to_string(),
+        };
+        assert_eq!(v.to_string(), "invariant violated: x");
+    }
+}

@@ -1,0 +1,1380 @@
+//! The queue-management engine: the paper's MMS operation set in software.
+//!
+//! A [`QueueManager`] owns a pointer memory ([`PtrMem`]), a data memory
+//! ([`SegmentPool`]) and the two free lists, and executes the operations the
+//! paper's hardware offers (§6): enqueue, dequeue, read, overwrite, delete
+//! segment / delete packet, append at the head or tail of a packet, move a
+//! packet to a new queue, overwrite the segment length, and the fused
+//! variants of Table 4.
+
+use crate::config::QmConfig;
+use crate::error::QueueError;
+use crate::freelist::{PktFreeList, SegFreeList};
+use crate::id::{FlowId, PacketId, SegmentId};
+use crate::pool::SegmentPool;
+use crate::ptrmem::{PtrMem, SegRecord};
+use crate::stats::QmStats;
+
+/// Where a segment sits within its packet, from the SAR point of view.
+///
+/// Start-of-packet and end-of-packet markers drive the engine's packet
+/// delimiting, exactly like the SOP/EOP flags on a hardware segment bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SegmentPosition {
+    /// The packet's only segment (SOP and EOP).
+    Only,
+    /// First of several segments (SOP).
+    First,
+    /// Interior segment.
+    Middle,
+    /// Final segment (EOP).
+    Last,
+}
+
+impl SegmentPosition {
+    /// Builds a position from SOP/EOP flags.
+    pub const fn from_flags(sop: bool, eop: bool) -> Self {
+        match (sop, eop) {
+            (true, true) => SegmentPosition::Only,
+            (true, false) => SegmentPosition::First,
+            (false, false) => SegmentPosition::Middle,
+            (false, true) => SegmentPosition::Last,
+        }
+    }
+
+    /// Whether this segment starts a packet.
+    pub const fn is_first(self) -> bool {
+        matches!(self, SegmentPosition::Only | SegmentPosition::First)
+    }
+
+    /// Whether this segment ends a packet.
+    pub const fn is_last(self) -> bool {
+        matches!(self, SegmentPosition::Only | SegmentPosition::Last)
+    }
+}
+
+/// A segment returned by [`QueueManager::dequeue`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DequeuedSegment {
+    /// The segment payload (up to the configured segment size).
+    pub data: Vec<u8>,
+    /// True if this was the first segment of its packet.
+    pub sop: bool,
+    /// True if this was the last segment of its packet.
+    pub eop: bool,
+}
+
+/// Per-flow queue-management engine over segment-aligned memory.
+///
+/// See the [crate-level documentation](crate) for an overview and the
+/// paper mapping.
+#[derive(Debug, Clone)]
+pub struct QueueManager {
+    pub(crate) cfg: QmConfig,
+    pub(crate) ptr: PtrMem,
+    pub(crate) data: SegmentPool,
+    pub(crate) seg_fl: SegFreeList,
+    pub(crate) pkt_fl: PktFreeList,
+    pub(crate) stats: QmStats,
+}
+
+impl QueueManager {
+    /// Creates an engine with the given configuration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use npqm_core::{QmConfig, QueueManager};
+    /// let qm = QueueManager::new(QmConfig::small());
+    /// assert_eq!(qm.free_segments(), 512);
+    /// ```
+    pub fn new(cfg: QmConfig) -> Self {
+        let mut ptr = PtrMem::new(cfg.num_segments(), cfg.num_flows());
+        let seg_fl = SegFreeList::init(&mut ptr, cfg.freelist_discipline());
+        let pkt_fl = PktFreeList::init(&mut ptr);
+        ptr.reset_counters(); // initialisation traffic is not interesting
+        QueueManager {
+            data: SegmentPool::new(cfg.num_segments(), cfg.segment_bytes()),
+            cfg,
+            ptr,
+            seg_fl,
+            pkt_fl,
+            stats: QmStats::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub const fn config(&self) -> &QmConfig {
+        &self.cfg
+    }
+
+    /// Operation statistics accumulated so far.
+    pub const fn stats(&self) -> &QmStats {
+        &self.stats
+    }
+
+    /// Pointer-memory access counters (ZBT SRAM traffic).
+    pub fn ptr_counters(&self) -> crate::ptrmem::PtrMemCounters {
+        *self.ptr.counters()
+    }
+
+    /// Data-memory traffic: `(segment reads, segment writes)`.
+    pub fn data_counters(&self) -> (u64, u64) {
+        (self.data.reads(), self.data.writes())
+    }
+
+    /// Number of free segments in the data memory.
+    pub fn free_segments(&self) -> u32 {
+        self.seg_fl.free_count()
+    }
+
+    /// Lowest free-segment count ever observed.
+    pub fn free_segments_low_watermark(&self) -> u32 {
+        self.seg_fl.low_watermark()
+    }
+
+    fn check_flow(&self, flow: FlowId) -> Result<(), QueueError> {
+        if flow.index() >= self.cfg.num_flows() {
+            return Err(QueueError::UnknownFlow {
+                flow,
+                num_flows: self.cfg.num_flows(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_payload(&self, data: &[u8]) -> Result<u16, QueueError> {
+        if data.is_empty() {
+            return Err(QueueError::EmptyPayload);
+        }
+        if data.len() > self.cfg.segment_bytes() as usize {
+            return Err(QueueError::SegmentOverflow {
+                len: data.len(),
+                segment_bytes: self.cfg.segment_bytes(),
+            });
+        }
+        Ok(data.len() as u16)
+    }
+
+    fn fail<T>(&mut self, err: QueueError) -> Result<T, QueueError> {
+        self.stats.errors += 1;
+        Err(err)
+    }
+
+    // --- enqueue -------------------------------------------------------
+
+    /// Enqueues one segment on `flow` ("Enqueue one segment", §6).
+    ///
+    /// Segments of one packet must arrive contiguously per flow, delimited
+    /// by the [`SegmentPosition`] SOP/EOP flags.
+    ///
+    /// Returns the segment id the payload was stored in.
+    ///
+    /// # Errors
+    ///
+    /// * [`QueueError::UnknownFlow`] — flow out of range.
+    /// * [`QueueError::EmptyPayload`] / [`QueueError::SegmentOverflow`] —
+    ///   bad payload size.
+    /// * [`QueueError::SarProtocol`] — SOP/EOP sequencing violated.
+    /// * [`QueueError::OutOfSegments`] / [`QueueError::OutOfPacketRecords`]
+    ///   — memory full (the caller should drop or backpressure).
+    pub fn enqueue(
+        &mut self,
+        flow: FlowId,
+        data: &[u8],
+        pos: SegmentPosition,
+    ) -> Result<SegmentId, QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let len = match self.check_payload(data) {
+            Ok(l) => l,
+            Err(e) => return self.fail(e),
+        };
+        let mut q = self.ptr.queue(flow);
+        if pos.is_first() && q.open {
+            return self.fail(QueueError::SarProtocol {
+                flow,
+                expected_start: false,
+            });
+        }
+        if !pos.is_first() && !q.open {
+            return self.fail(QueueError::SarProtocol {
+                flow,
+                expected_start: true,
+            });
+        }
+        // Reserve capacity up front so no partial state change can happen.
+        if self.seg_fl.free_count() == 0 {
+            return self.fail(QueueError::OutOfSegments);
+        }
+        if pos.is_first() && self.pkt_fl.free_count() == 0 {
+            return self.fail(QueueError::OutOfPacketRecords);
+        }
+
+        let seg = self.seg_fl.alloc(&mut self.ptr).expect("reserved above");
+        self.data.write(seg, data);
+        self.ptr.set_seg(
+            seg,
+            SegRecord {
+                next: SegmentId::NIL,
+                len,
+            },
+        );
+
+        if pos.is_first() {
+            let pid = self.pkt_fl.alloc(&mut self.ptr).expect("reserved above");
+            let mut pr = self.ptr.pkt(pid);
+            pr.first = seg;
+            pr.last = seg;
+            pr.next_pkt = PacketId::NIL;
+            pr.segs = 1;
+            pr.bytes = len as u32;
+            pr.started = false;
+            self.ptr.set_pkt(pid, pr);
+            if q.tail_pkt.is_nil() {
+                q.head_pkt = pid;
+            } else {
+                let tail = q.tail_pkt;
+                let mut tail_pr = self.ptr.pkt(tail);
+                tail_pr.next_pkt = pid;
+                self.ptr.set_pkt(tail, tail_pr);
+            }
+            q.tail_pkt = pid;
+            q.pkts += 1;
+            q.open = !pos.is_last();
+            if pos.is_last() {
+                q.complete_pkts += 1;
+            }
+        } else {
+            let pid = q.tail_pkt;
+            debug_assert!(!pid.is_nil(), "open queue must have a tail packet");
+            let mut pr = self.ptr.pkt(pid);
+            let mut last_rec = self.ptr.seg(pr.last);
+            last_rec.next = seg;
+            self.ptr.set_seg(pr.last, last_rec);
+            pr.last = seg;
+            pr.segs += 1;
+            pr.bytes += len as u32;
+            self.ptr.set_pkt(pid, pr);
+            if pos.is_last() {
+                q.open = false;
+                q.complete_pkts += 1;
+            }
+        }
+        q.segs += 1;
+        q.bytes += len as u64;
+        self.ptr.set_queue(flow, q);
+        self.stats.enqueues += 1;
+        self.stats.bytes_in += len as u64;
+        Ok(seg)
+    }
+
+    /// Segments `packet` and enqueues all pieces on `flow`.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueManager::enqueue`]; on memory exhaustion midway the
+    /// partial packet is deleted again so the queue never holds a torn
+    /// packet.
+    pub fn enqueue_packet(&mut self, flow: FlowId, packet: &[u8]) -> Result<(), QueueError> {
+        if packet.is_empty() {
+            return self.fail(QueueError::EmptyPayload);
+        }
+        let seg_bytes = self.cfg.segment_bytes() as usize;
+        let n = packet.len().div_ceil(seg_bytes);
+        for (i, chunk) in packet.chunks(seg_bytes).enumerate() {
+            let pos = SegmentPosition::from_flags(i == 0, i == n - 1);
+            if let Err(e) = self.enqueue(flow, chunk, pos) {
+                if i > 0 {
+                    self.abort_open_packet(flow);
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops the still-open tail packet of `flow` (rollback path).
+    fn abort_open_packet(&mut self, flow: FlowId) {
+        let mut q = self.ptr.queue(flow);
+        if !q.open {
+            return;
+        }
+        let pid = q.tail_pkt;
+        let pr = self.ptr.pkt(pid);
+        // Free the packet's segments.
+        let mut cur = pr.first;
+        while !cur.is_nil() {
+            let rec = self.ptr.seg(cur);
+            self.seg_fl.release(&mut self.ptr, cur);
+            cur = rec.next;
+        }
+        // Unlink the tail packet: walk to find the predecessor.
+        if q.head_pkt == pid {
+            q.head_pkt = PacketId::NIL;
+            q.tail_pkt = PacketId::NIL;
+        } else {
+            let mut prev = q.head_pkt;
+            loop {
+                let prec = self.ptr.pkt(prev);
+                if prec.next_pkt == pid {
+                    let mut fixed = prec;
+                    fixed.next_pkt = PacketId::NIL;
+                    self.ptr.set_pkt(prev, fixed);
+                    break;
+                }
+                prev = prec.next_pkt;
+            }
+            q.tail_pkt = prev;
+        }
+        q.pkts -= 1;
+        q.segs -= pr.segs;
+        q.bytes -= pr.bytes as u64;
+        q.open = false;
+        self.ptr.set_queue(flow, q);
+        self.pkt_fl.release(&mut self.ptr, pid);
+    }
+
+    // --- dequeue -------------------------------------------------------
+
+    /// Whether the head packet of `flow` can currently be served.
+    fn head_ready(&mut self, flow: FlowId) -> Result<PacketId, QueueError> {
+        let q = self.ptr.queue(flow);
+        if q.head_pkt.is_nil() {
+            return Err(QueueError::QueueEmpty { flow });
+        }
+        let head_open = q.open && q.head_pkt == q.tail_pkt;
+        if head_open && !self.cfg.cut_through() {
+            return Err(QueueError::QueueEmpty { flow });
+        }
+        Ok(q.head_pkt)
+    }
+
+    /// Dequeues the head segment of the head packet ("Dequeue", Table 4).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`] when no complete packet is available (or,
+    /// with cut-through enabled, when even the open packet has no
+    /// consumable segment), and [`QueueError::UnknownFlow`].
+    pub fn dequeue(&mut self, flow: FlowId) -> Result<DequeuedSegment, QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let pid = match self.head_ready(flow) {
+            Ok(p) => p,
+            Err(e) => return self.fail(e),
+        };
+        let mut q = self.ptr.queue(flow);
+        let mut pr = self.ptr.pkt(pid);
+        let head_open = q.open && q.head_pkt == q.tail_pkt;
+        if head_open && pr.segs <= 1 {
+            // Cut-through may not consume the final segment before EOP.
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let seg = pr.first;
+        let rec = self.ptr.seg(seg);
+        let sop = !pr.started;
+        let eop = pr.first == pr.last;
+        let payload = self.data.read(seg, rec.len as usize).to_vec();
+        self.seg_fl.release(&mut self.ptr, seg);
+
+        q.segs -= 1;
+        q.bytes -= rec.len as u64;
+        if eop {
+            q.head_pkt = pr.next_pkt;
+            if q.head_pkt.is_nil() {
+                q.tail_pkt = PacketId::NIL;
+            }
+            q.pkts -= 1;
+            q.complete_pkts -= 1;
+            self.pkt_fl.release(&mut self.ptr, pid);
+        } else {
+            pr.first = rec.next;
+            pr.segs -= 1;
+            pr.bytes -= rec.len as u32;
+            pr.started = true;
+            self.ptr.set_pkt(pid, pr);
+        }
+        self.ptr.set_queue(flow, q);
+        self.stats.dequeues += 1;
+        self.stats.bytes_out += rec.len as u64;
+        Ok(DequeuedSegment {
+            data: payload,
+            sop,
+            eop,
+        })
+    }
+
+    /// Dequeues one whole packet, concatenating its segments.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueManager::dequeue`].
+    pub fn dequeue_packet(&mut self, flow: FlowId) -> Result<Vec<u8>, QueueError> {
+        let mut out = Vec::new();
+        loop {
+            let seg = self.dequeue(flow)?;
+            debug_assert!(seg.sop == out.is_empty(), "SOP must open the packet");
+            out.extend_from_slice(&seg.data);
+            if seg.eop {
+                return Ok(out);
+            }
+        }
+    }
+
+    // --- in-place operations --------------------------------------------
+
+    /// Reads the head segment without dequeuing it ("Read", Table 4).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`] / [`QueueError::UnknownFlow`].
+    pub fn read_head(&mut self, flow: FlowId) -> Result<DequeuedSegment, QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let q = self.ptr.queue(flow);
+        if q.head_pkt.is_nil() {
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let pr = self.ptr.pkt(q.head_pkt);
+        let rec = self.ptr.seg(pr.first);
+        let payload = self.data.read(pr.first, rec.len as usize).to_vec();
+        self.stats.reads += 1;
+        Ok(DequeuedSegment {
+            data: payload,
+            sop: !pr.started,
+            eop: pr.first == pr.last,
+        })
+    }
+
+    /// Overwrites the head segment's payload in place ("Overwrite").
+    ///
+    /// The new payload may be shorter or longer than the old one (within
+    /// the segment size); byte accounting is adjusted.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`], [`QueueError::UnknownFlow`],
+    /// [`QueueError::EmptyPayload`], [`QueueError::SegmentOverflow`].
+    pub fn overwrite_head(&mut self, flow: FlowId, data: &[u8]) -> Result<(), QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let len = match self.check_payload(data) {
+            Ok(l) => l,
+            Err(e) => return self.fail(e),
+        };
+        let mut q = self.ptr.queue(flow);
+        if q.head_pkt.is_nil() {
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let pid = q.head_pkt;
+        let mut pr = self.ptr.pkt(pid);
+        let seg = pr.first;
+        let mut rec = self.ptr.seg(seg);
+        let old = rec.len;
+        self.data.write(seg, data);
+        rec.len = len;
+        self.ptr.set_seg(seg, rec);
+        pr.bytes = pr.bytes - old as u32 + len as u32;
+        self.ptr.set_pkt(pid, pr);
+        q.bytes = q.bytes - old as u64 + len as u64;
+        self.ptr.set_queue(flow, q);
+        self.stats.overwrites += 1;
+        Ok(())
+    }
+
+    /// Rewrites only the length field of the head segment
+    /// ("Overwrite_Segment_length", Table 4) — e.g. trimming a header.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`], [`QueueError::UnknownFlow`], and
+    /// [`QueueError::SegmentOverflow`] when `new_len` exceeds the segment
+    /// size; [`QueueError::EmptyPayload`] when `new_len` is zero.
+    pub fn overwrite_head_len(&mut self, flow: FlowId, new_len: u16) -> Result<(), QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        if new_len == 0 {
+            return self.fail(QueueError::EmptyPayload);
+        }
+        if new_len as u32 > self.cfg.segment_bytes() {
+            return self.fail(QueueError::SegmentOverflow {
+                len: new_len as usize,
+                segment_bytes: self.cfg.segment_bytes(),
+            });
+        }
+        let mut q = self.ptr.queue(flow);
+        if q.head_pkt.is_nil() {
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let pid = q.head_pkt;
+        let mut pr = self.ptr.pkt(pid);
+        let seg = pr.first;
+        let mut rec = self.ptr.seg(seg);
+        let old = rec.len;
+        rec.len = new_len;
+        self.ptr.set_seg(seg, rec);
+        pr.bytes = pr.bytes - old as u32 + new_len as u32;
+        self.ptr.set_pkt(pid, pr);
+        q.bytes = q.bytes - old as u64 + new_len as u64;
+        self.ptr.set_queue(flow, q);
+        self.stats.len_overwrites += 1;
+        Ok(())
+    }
+
+    // --- delete ----------------------------------------------------------
+
+    /// Deletes the head segment without reading its data ("Delete one
+    /// segment") — no DRAM access, which is why the paper's Table 4 shows
+    /// Delete as the cheapest command.
+    ///
+    /// Returns the number of payload bytes dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`] when no served packet (or, for an open
+    /// packet, no spare segment) exists; [`QueueError::UnknownFlow`].
+    pub fn delete_segment(&mut self, flow: FlowId) -> Result<u16, QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let pid = match self.head_ready(flow) {
+            Ok(p) => p,
+            Err(e) => return self.fail(e),
+        };
+        let mut q = self.ptr.queue(flow);
+        let mut pr = self.ptr.pkt(pid);
+        let head_open = q.open && q.head_pkt == q.tail_pkt;
+        if head_open && pr.segs <= 1 {
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let seg = pr.first;
+        let rec = self.ptr.seg(seg);
+        let eop = pr.first == pr.last;
+        self.seg_fl.release(&mut self.ptr, seg);
+        q.segs -= 1;
+        q.bytes -= rec.len as u64;
+        if eop {
+            q.head_pkt = pr.next_pkt;
+            if q.head_pkt.is_nil() {
+                q.tail_pkt = PacketId::NIL;
+            }
+            q.pkts -= 1;
+            q.complete_pkts -= 1;
+            self.pkt_fl.release(&mut self.ptr, pid);
+        } else {
+            pr.first = rec.next;
+            pr.segs -= 1;
+            pr.bytes -= rec.len as u32;
+            pr.started = true;
+            self.ptr.set_pkt(pid, pr);
+        }
+        self.ptr.set_queue(flow, q);
+        self.stats.seg_deletes += 1;
+        Ok(rec.len)
+    }
+
+    /// Deletes the entire head packet ("Delete … a full packet").
+    ///
+    /// Returns `(segments, bytes)` dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`] when no complete packet is queued;
+    /// [`QueueError::UnknownFlow`].
+    pub fn delete_packet(&mut self, flow: FlowId) -> Result<(u32, u32), QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let q0 = self.ptr.queue(flow);
+        if q0.head_pkt.is_nil() || (q0.open && q0.head_pkt == q0.tail_pkt) {
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let pid = q0.head_pkt;
+        let pr = self.ptr.pkt(pid);
+        let mut cur = pr.first;
+        while !cur.is_nil() {
+            let rec = self.ptr.seg(cur);
+            self.seg_fl.release(&mut self.ptr, cur);
+            cur = rec.next;
+        }
+        let mut q = q0;
+        q.head_pkt = pr.next_pkt;
+        if q.head_pkt.is_nil() {
+            q.tail_pkt = PacketId::NIL;
+        }
+        q.pkts -= 1;
+        q.complete_pkts -= 1;
+        q.segs -= pr.segs;
+        q.bytes -= pr.bytes as u64;
+        self.ptr.set_queue(flow, q);
+        self.pkt_fl.release(&mut self.ptr, pid);
+        self.stats.pkt_deletes += 1;
+        Ok((pr.segs, pr.bytes))
+    }
+
+    // --- append ----------------------------------------------------------
+
+    /// Prepends a segment to the head packet ("Append a segment at the
+    /// head … of a packet") — e.g. pushing an encapsulation header.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`], [`QueueError::UnknownFlow`], payload
+    /// errors, or [`QueueError::OutOfSegments`].
+    pub fn append_head(&mut self, flow: FlowId, data: &[u8]) -> Result<SegmentId, QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let len = match self.check_payload(data) {
+            Ok(l) => l,
+            Err(e) => return self.fail(e),
+        };
+        let mut q = self.ptr.queue(flow);
+        if q.head_pkt.is_nil() {
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let seg = match self.seg_fl.alloc(&mut self.ptr) {
+            Ok(s) => s,
+            Err(e) => return self.fail(e),
+        };
+        self.data.write(seg, data);
+        let pid = q.head_pkt;
+        let mut pr = self.ptr.pkt(pid);
+        self.ptr.set_seg(
+            seg,
+            SegRecord {
+                next: pr.first,
+                len,
+            },
+        );
+        pr.first = seg;
+        pr.segs += 1;
+        pr.bytes += len as u32;
+        // A fresh head restores the packet's "not yet started" state.
+        pr.started = false;
+        self.ptr.set_pkt(pid, pr);
+        q.segs += 1;
+        q.bytes += len as u64;
+        self.ptr.set_queue(flow, q);
+        self.stats.head_appends += 1;
+        Ok(seg)
+    }
+
+    /// Appends a segment to the tail packet ("Append a segment at the …
+    /// tail of a packet") — e.g. adding a trailer. Unlike
+    /// [`QueueManager::enqueue`] this works on an already-complete packet
+    /// and does not change its completeness.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`], [`QueueError::UnknownFlow`], payload
+    /// errors, or [`QueueError::OutOfSegments`].
+    pub fn append_tail(&mut self, flow: FlowId, data: &[u8]) -> Result<SegmentId, QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let len = match self.check_payload(data) {
+            Ok(l) => l,
+            Err(e) => return self.fail(e),
+        };
+        let mut q = self.ptr.queue(flow);
+        if q.tail_pkt.is_nil() {
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let seg = match self.seg_fl.alloc(&mut self.ptr) {
+            Ok(s) => s,
+            Err(e) => return self.fail(e),
+        };
+        self.data.write(seg, data);
+        self.ptr.set_seg(
+            seg,
+            SegRecord {
+                next: SegmentId::NIL,
+                len,
+            },
+        );
+        let pid = q.tail_pkt;
+        let mut pr = self.ptr.pkt(pid);
+        let mut last_rec = self.ptr.seg(pr.last);
+        last_rec.next = seg;
+        self.ptr.set_seg(pr.last, last_rec);
+        pr.last = seg;
+        pr.segs += 1;
+        pr.bytes += len as u32;
+        self.ptr.set_pkt(pid, pr);
+        q.segs += 1;
+        q.bytes += len as u64;
+        self.ptr.set_queue(flow, q);
+        self.stats.tail_appends += 1;
+        Ok(seg)
+    }
+
+    // --- move --------------------------------------------------------------
+
+    /// Moves the head packet of `src` to the tail of `dst` ("Move a packet
+    /// to a new queue") in O(1) pointer operations.
+    ///
+    /// Moving within the same queue rotates the head packet to the tail.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`] when `src` has no complete packet;
+    /// [`QueueError::UnknownFlow`] for either flow.
+    pub fn move_packet(&mut self, src: FlowId, dst: FlowId) -> Result<(), QueueError> {
+        if let Err(e) = self.check_flow(src) {
+            return self.fail(e);
+        }
+        if let Err(e) = self.check_flow(dst) {
+            return self.fail(e);
+        }
+        let mut sq = self.ptr.queue(src);
+        if sq.head_pkt.is_nil() || (sq.open && sq.head_pkt == sq.tail_pkt) {
+            return self.fail(QueueError::QueueEmpty { flow: src });
+        }
+        if src == dst && sq.pkts == 1 {
+            self.stats.moves += 1;
+            return Ok(()); // rotating a single packet is a no-op
+        }
+        let pid = sq.head_pkt;
+        let mut pr = self.ptr.pkt(pid);
+
+        // Unlink from src.
+        sq.head_pkt = pr.next_pkt;
+        if sq.head_pkt.is_nil() {
+            sq.tail_pkt = PacketId::NIL;
+        }
+        sq.pkts -= 1;
+        sq.complete_pkts -= 1;
+        sq.segs -= pr.segs;
+        sq.bytes -= pr.bytes as u64;
+        pr.next_pkt = PacketId::NIL;
+
+        // Link to dst (which may be the same queue record).
+        let mut dq = if src == dst { sq } else { self.ptr.queue(dst) };
+        if dq.tail_pkt.is_nil() {
+            dq.head_pkt = pid;
+        } else {
+            let tail = dq.tail_pkt;
+            let mut tail_pr = self.ptr.pkt(tail);
+            tail_pr.next_pkt = pid;
+            self.ptr.set_pkt(tail, tail_pr);
+        }
+        dq.tail_pkt = pid;
+        dq.pkts += 1;
+        dq.complete_pkts += 1;
+        dq.segs += pr.segs;
+        dq.bytes += pr.bytes as u64;
+        self.ptr.set_pkt(pid, pr);
+        if src == dst {
+            self.ptr.set_queue(src, dq);
+        } else {
+            self.ptr.set_queue(src, sq);
+            self.ptr.set_queue(dst, dq);
+        }
+        self.stats.moves += 1;
+        Ok(())
+    }
+
+    /// Fused "Overwrite_Segment&Move" (Table 4): rewrite the head segment
+    /// of `src`'s head packet, then move that packet to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueManager::overwrite_head`] and [`QueueManager::move_packet`].
+    pub fn overwrite_and_move(
+        &mut self,
+        src: FlowId,
+        dst: FlowId,
+        data: &[u8],
+    ) -> Result<(), QueueError> {
+        self.overwrite_head(src, data)?;
+        self.move_packet(src, dst)
+    }
+
+    /// Fused "Overwrite_Segment_length&Move" (Table 4).
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueManager::overwrite_head_len`] and
+    /// [`QueueManager::move_packet`].
+    pub fn overwrite_len_and_move(
+        &mut self,
+        src: FlowId,
+        dst: FlowId,
+        new_len: u16,
+    ) -> Result<(), QueueError> {
+        self.overwrite_head_len(src, new_len)?;
+        self.move_packet(src, dst)
+    }
+
+    // --- queries -----------------------------------------------------------
+
+    /// Segments currently queued on `flow` (0 for out-of-range flows).
+    pub fn queue_len_segments(&self, flow: FlowId) -> u32 {
+        if flow.index() >= self.cfg.num_flows() {
+            return 0;
+        }
+        self.ptr.queue_silent(flow).segs
+    }
+
+    /// Packets (complete + open) currently queued on `flow`.
+    pub fn queue_len_packets(&self, flow: FlowId) -> u32 {
+        if flow.index() >= self.cfg.num_flows() {
+            return 0;
+        }
+        self.ptr.queue_silent(flow).pkts
+    }
+
+    /// Complete packets ready for dequeue on `flow`.
+    pub fn complete_packets(&self, flow: FlowId) -> u32 {
+        if flow.index() >= self.cfg.num_flows() {
+            return 0;
+        }
+        self.ptr.queue_silent(flow).complete_pkts
+    }
+
+    /// Payload bytes currently queued on `flow`.
+    pub fn queue_len_bytes(&self, flow: FlowId) -> u64 {
+        if flow.index() >= self.cfg.num_flows() {
+            return 0;
+        }
+        self.ptr.queue_silent(flow).bytes
+    }
+
+    /// Whether `flow` holds no data at all.
+    pub fn is_empty(&self, flow: FlowId) -> bool {
+        self.queue_len_segments(flow) == 0
+    }
+
+    /// Payload bytes of the head packet of `flow`, if one exists.
+    ///
+    /// Used by byte-accounting schedulers (DRR) that must compare the next
+    /// packet's size against a deficit counter without dequeuing it.
+    pub fn head_packet_bytes(&self, flow: FlowId) -> Option<u64> {
+        if flow.index() >= self.cfg.num_flows() {
+            return None;
+        }
+        let q = self.ptr.queue_silent(flow);
+        if q.head_pkt.is_nil() {
+            return None;
+        }
+        Some(self.ptr.pkt_silent(q.head_pkt).bytes as u64)
+    }
+
+    /// Copies the head packet of `src` onto the tail of `dst`, allocating
+    /// fresh segments (the "copy operations" of the early ATM queue
+    /// managers the paper's §2 surveys — used for multicast/mirroring).
+    ///
+    /// Unlike [`QueueManager::move_packet`] this is O(packet size): every
+    /// segment's payload is duplicated.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`] when `src` has no complete packet;
+    /// [`QueueError::OutOfSegments`] / [`QueueError::OutOfPacketRecords`]
+    /// when the copy does not fit (no partial copy is left behind);
+    /// [`QueueError::UnknownFlow`] for either flow.
+    pub fn copy_packet(&mut self, src: FlowId, dst: FlowId) -> Result<(), QueueError> {
+        if let Err(e) = self.check_flow(src) {
+            return self.fail(e);
+        }
+        if let Err(e) = self.check_flow(dst) {
+            return self.fail(e);
+        }
+        let q = self.ptr.queue(src);
+        if q.head_pkt.is_nil() || (q.open && q.head_pkt == q.tail_pkt) {
+            return self.fail(QueueError::QueueEmpty { flow: src });
+        }
+        let pr = self.ptr.pkt(q.head_pkt);
+        // The destination must not have a packet mid-assembly: the copy
+        // enqueues a fresh packet and may not interleave with SAR traffic.
+        let dst_q = self.ptr.queue(dst);
+        if dst_q.open {
+            return self.fail(QueueError::SarProtocol {
+                flow: dst,
+                expected_start: false,
+            });
+        }
+        // Capacity check up front so failure cannot tear the destination.
+        if self.seg_fl.free_count() < pr.segs {
+            return self.fail(QueueError::OutOfSegments);
+        }
+        if self.pkt_fl.free_count() == 0 {
+            return self.fail(QueueError::OutOfPacketRecords);
+        }
+        // Walk the source chain, duplicating payloads segment by segment.
+        let mut cur = pr.first;
+        let mut first = true;
+        while !cur.is_nil() {
+            let rec = self.ptr.seg(cur);
+            let data = self.data.read(cur, rec.len as usize).to_vec();
+            let pos = SegmentPosition::from_flags(first, rec.next.is_nil());
+            self.enqueue(dst, &data, pos).expect("capacity reserved");
+            first = false;
+            cur = rec.next;
+        }
+        Ok(())
+    }
+
+    /// Verifies every structural invariant of the engine.
+    ///
+    /// See [`crate::check::verify`] for the list of checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn verify(&self) -> Result<crate::check::InvariantReport, crate::check::InvariantViolation> {
+        crate::check::verify(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qm() -> QueueManager {
+        QueueManager::new(QmConfig::small())
+    }
+
+    #[test]
+    fn single_segment_packet_round_trip() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue(f, b"hello", SegmentPosition::Only).unwrap();
+        assert_eq!(m.queue_len_packets(f), 1);
+        assert_eq!(m.complete_packets(f), 1);
+        let seg = m.dequeue(f).unwrap();
+        assert!(seg.sop && seg.eop);
+        assert_eq!(seg.data, b"hello");
+        assert!(m.is_empty(f));
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn multi_segment_fifo_order() {
+        let mut m = qm();
+        let f = FlowId::new(3);
+        m.enqueue(f, &[1; 64], SegmentPosition::First).unwrap();
+        m.enqueue(f, &[2; 64], SegmentPosition::Middle).unwrap();
+        m.enqueue(f, &[3; 10], SegmentPosition::Last).unwrap();
+        assert_eq!(m.queue_len_segments(f), 3);
+        assert_eq!(m.queue_len_bytes(f), 138);
+        let a = m.dequeue(f).unwrap();
+        assert!(a.sop && !a.eop);
+        assert_eq!(a.data, vec![1; 64]);
+        let b = m.dequeue(f).unwrap();
+        assert!(!b.sop && !b.eop);
+        let c = m.dequeue(f).unwrap();
+        assert!(!c.sop && c.eop);
+        assert_eq!(c.data, vec![3; 10]);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn incomplete_packet_is_not_served() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue(f, &[0; 64], SegmentPosition::First).unwrap();
+        assert_eq!(m.dequeue(f), Err(QueueError::QueueEmpty { flow: f }));
+        m.enqueue(f, &[0; 64], SegmentPosition::Last).unwrap();
+        assert!(m.dequeue(f).is_ok());
+    }
+
+    #[test]
+    fn cut_through_serves_open_packet_but_keeps_one_segment() {
+        let cfg = QmConfig::builder()
+            .num_flows(4)
+            .num_segments(64)
+            .segment_bytes(64)
+            .cut_through(true)
+            .build()
+            .unwrap();
+        let mut m = QueueManager::new(cfg);
+        let f = FlowId::new(1);
+        m.enqueue(f, &[1; 64], SegmentPosition::First).unwrap();
+        // Only one segment so far: even cut-through must wait.
+        assert!(m.dequeue(f).is_err());
+        m.enqueue(f, &[2; 64], SegmentPosition::Middle).unwrap();
+        let seg = m.dequeue(f).unwrap();
+        assert!(seg.sop && !seg.eop);
+        m.enqueue(f, &[3; 64], SegmentPosition::Last).unwrap();
+        let seg = m.dequeue(f).unwrap();
+        assert!(!seg.sop && !seg.eop);
+        let seg = m.dequeue(f).unwrap();
+        assert!(seg.eop);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn sar_protocol_violations() {
+        let mut m = qm();
+        let f = FlowId::new(2);
+        assert!(matches!(
+            m.enqueue(f, b"x", SegmentPosition::Middle),
+            Err(QueueError::SarProtocol {
+                expected_start: true,
+                ..
+            })
+        ));
+        m.enqueue(f, b"x", SegmentPosition::First).unwrap();
+        assert!(matches!(
+            m.enqueue(f, b"y", SegmentPosition::First),
+            Err(QueueError::SarProtocol {
+                expected_start: false,
+                ..
+            })
+        ));
+        assert_eq!(m.stats().errors, 2);
+    }
+
+    #[test]
+    fn interleaved_flows_are_independent() {
+        let mut m = qm();
+        let f1 = FlowId::new(1);
+        let f2 = FlowId::new(2);
+        m.enqueue(f1, &[1; 64], SegmentPosition::First).unwrap();
+        m.enqueue(f2, b"whole", SegmentPosition::Only).unwrap();
+        m.enqueue(f1, &[1; 8], SegmentPosition::Last).unwrap();
+        assert_eq!(m.dequeue_packet(f2).unwrap(), b"whole");
+        let p = m.dequeue_packet(f1).unwrap();
+        assert_eq!(p.len(), 72);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn enqueue_packet_dequeue_packet_round_trip() {
+        let mut m = qm();
+        let f = FlowId::new(5);
+        let pkt: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        m.enqueue_packet(f, &pkt).unwrap();
+        assert_eq!(m.queue_len_segments(f), 4); // 64+64+64+8
+        assert_eq!(m.dequeue_packet(f).unwrap(), pkt);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn read_head_does_not_consume() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue(f, b"peekme", SegmentPosition::Only).unwrap();
+        let r = m.read_head(f).unwrap();
+        assert_eq!(r.data, b"peekme");
+        assert!(r.sop && r.eop);
+        assert_eq!(m.queue_len_segments(f), 1);
+        assert_eq!(m.dequeue(f).unwrap().data, b"peekme");
+    }
+
+    #[test]
+    fn overwrite_head_replaces_data_and_accounts_bytes() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue(f, b"old-data", SegmentPosition::Only).unwrap();
+        m.overwrite_head(f, b"new").unwrap();
+        assert_eq!(m.queue_len_bytes(f), 3);
+        assert_eq!(m.dequeue(f).unwrap().data, b"new");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn overwrite_head_len_trims() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue(f, &[9u8; 40], SegmentPosition::Only).unwrap();
+        m.overwrite_head_len(f, 20).unwrap();
+        assert_eq!(m.queue_len_bytes(f), 20);
+        assert_eq!(m.dequeue(f).unwrap().data, vec![9u8; 20]);
+        assert!(m.overwrite_head_len(f, 1).is_err(), "queue now empty");
+    }
+
+    #[test]
+    fn delete_segment_and_packet() {
+        let mut m = qm();
+        let f = FlowId::new(7);
+        m.enqueue_packet(f, &[1u8; 130]).unwrap(); // 3 segments
+        m.enqueue_packet(f, &[2u8; 64]).unwrap(); // 1 segment
+        assert_eq!(m.delete_segment(f).unwrap(), 64);
+        assert_eq!(m.queue_len_segments(f), 3);
+        let (segs, bytes) = m.delete_packet(f).unwrap();
+        assert_eq!(segs, 2);
+        assert_eq!(bytes, 66);
+        // Only the second packet remains.
+        assert_eq!(m.dequeue_packet(f).unwrap(), vec![2u8; 64]);
+        assert_eq!(m.free_segments(), m.config().num_segments());
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn append_head_prepends_header() {
+        let mut m = qm();
+        let f = FlowId::new(1);
+        m.enqueue_packet(f, b"payload").unwrap();
+        m.append_head(f, b"HDR:").unwrap();
+        let out = m.dequeue_packet(f).unwrap();
+        assert_eq!(out, b"HDR:payload");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn append_tail_adds_trailer() {
+        let mut m = qm();
+        let f = FlowId::new(1);
+        m.enqueue_packet(f, b"payload").unwrap();
+        m.append_tail(f, b":TRL").unwrap();
+        let out = m.dequeue_packet(f).unwrap();
+        assert_eq!(out, b"payload:TRL");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn move_packet_between_queues() {
+        let mut m = qm();
+        let a = FlowId::new(1);
+        let b = FlowId::new(2);
+        m.enqueue_packet(a, b"first").unwrap();
+        m.enqueue_packet(a, b"second").unwrap();
+        m.move_packet(a, b).unwrap();
+        assert_eq!(m.queue_len_packets(a), 1);
+        assert_eq!(m.queue_len_packets(b), 1);
+        assert_eq!(m.dequeue_packet(b).unwrap(), b"first");
+        assert_eq!(m.dequeue_packet(a).unwrap(), b"second");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn move_packet_same_queue_rotates() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue_packet(f, b"one").unwrap();
+        m.enqueue_packet(f, b"two").unwrap();
+        m.move_packet(f, f).unwrap();
+        assert_eq!(m.dequeue_packet(f).unwrap(), b"two");
+        assert_eq!(m.dequeue_packet(f).unwrap(), b"one");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn move_single_packet_same_queue_is_noop() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue_packet(f, b"solo").unwrap();
+        m.move_packet(f, f).unwrap();
+        assert_eq!(m.dequeue_packet(f).unwrap(), b"solo");
+    }
+
+    #[test]
+    fn fused_overwrite_and_move() {
+        let mut m = qm();
+        let a = FlowId::new(1);
+        let b = FlowId::new(2);
+        m.enqueue_packet(a, b"xxxx").unwrap();
+        m.overwrite_and_move(a, b, b"yyyy").unwrap();
+        assert_eq!(m.dequeue_packet(b).unwrap(), b"yyyy");
+        m.enqueue_packet(a, &[5u8; 30]).unwrap();
+        m.overwrite_len_and_move(a, b, 10).unwrap();
+        assert_eq!(m.dequeue_packet(b).unwrap(), vec![5u8; 10]);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn out_of_segments_is_clean() {
+        let cfg = QmConfig::builder()
+            .num_flows(2)
+            .num_segments(2)
+            .segment_bytes(64)
+            .build()
+            .unwrap();
+        let mut m = QueueManager::new(cfg);
+        let f = FlowId::new(0);
+        m.enqueue(f, &[0; 64], SegmentPosition::Only).unwrap();
+        m.enqueue(f, &[0; 64], SegmentPosition::Only).unwrap();
+        assert_eq!(
+            m.enqueue(f, &[0; 64], SegmentPosition::Only),
+            Err(QueueError::OutOfSegments)
+        );
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn enqueue_packet_rolls_back_on_exhaustion() {
+        let cfg = QmConfig::builder()
+            .num_flows(2)
+            .num_segments(2)
+            .segment_bytes(64)
+            .build()
+            .unwrap();
+        let mut m = QueueManager::new(cfg);
+        let f = FlowId::new(0);
+        // 3 segments needed, only 2 available: must fail and roll back.
+        assert!(m.enqueue_packet(f, &[0u8; 190]).is_err());
+        assert!(m.is_empty(f));
+        assert_eq!(m.free_segments(), 2);
+        m.verify().unwrap();
+        // The queue is usable afterwards.
+        m.enqueue_packet(f, &[1u8; 100]).unwrap();
+        assert_eq!(m.dequeue_packet(f).unwrap(), vec![1u8; 100]);
+    }
+
+    #[test]
+    fn unknown_flow_is_rejected() {
+        let mut m = qm();
+        let bad = FlowId::new(1_000_000);
+        assert!(matches!(
+            m.enqueue(bad, b"x", SegmentPosition::Only),
+            Err(QueueError::UnknownFlow { .. })
+        ));
+        assert!(matches!(
+            m.dequeue(bad),
+            Err(QueueError::UnknownFlow { .. })
+        ));
+        assert_eq!(m.queue_len_segments(bad), 0);
+        assert!(m.is_empty(bad));
+    }
+
+    #[test]
+    fn payload_validation() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        assert_eq!(
+            m.enqueue(f, b"", SegmentPosition::Only),
+            Err(QueueError::EmptyPayload)
+        );
+        assert!(matches!(
+            m.enqueue(f, &[0; 65], SegmentPosition::Only),
+            Err(QueueError::SegmentOverflow { len: 65, .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue_packet(f, &[0u8; 100]).unwrap();
+        m.read_head(f).unwrap();
+        m.overwrite_head(f, b"zz").unwrap();
+        m.dequeue_packet(f).unwrap();
+        let s = *m.stats();
+        assert_eq!(s.enqueues, 2);
+        assert_eq!(s.dequeues, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.overwrites, 1);
+        assert_eq!(s.bytes_in, 100);
+        assert_eq!(s.bytes_out, 38); // 2 (overwritten head) + 36 tail
+    }
+
+    #[test]
+    fn segment_position_flags() {
+        assert_eq!(
+            SegmentPosition::from_flags(true, true),
+            SegmentPosition::Only
+        );
+        assert_eq!(
+            SegmentPosition::from_flags(true, false),
+            SegmentPosition::First
+        );
+        assert_eq!(
+            SegmentPosition::from_flags(false, false),
+            SegmentPosition::Middle
+        );
+        assert_eq!(
+            SegmentPosition::from_flags(false, true),
+            SegmentPosition::Last
+        );
+        assert!(SegmentPosition::Only.is_first() && SegmentPosition::Only.is_last());
+        assert!(!SegmentPosition::Middle.is_first() && !SegmentPosition::Middle.is_last());
+    }
+
+    #[test]
+    fn head_packet_bytes_reports_head_only() {
+        let mut m = qm();
+        let f = FlowId::new(2);
+        assert_eq!(m.head_packet_bytes(f), None);
+        m.enqueue_packet(f, &[1u8; 100]).unwrap();
+        m.enqueue_packet(f, &[2u8; 300]).unwrap();
+        assert_eq!(m.head_packet_bytes(f), Some(100));
+        m.dequeue_packet(f).unwrap();
+        assert_eq!(m.head_packet_bytes(f), Some(300));
+        assert_eq!(m.head_packet_bytes(FlowId::new(1_000_000)), None);
+    }
+
+    #[test]
+    fn copy_packet_duplicates_payload() {
+        let mut m = qm();
+        let a = FlowId::new(1);
+        let b = FlowId::new(2);
+        let pkt: Vec<u8> = (0..150).map(|i| i as u8).collect();
+        m.enqueue_packet(a, &pkt).unwrap();
+        m.copy_packet(a, b).unwrap();
+        // Source untouched, destination holds an identical copy.
+        assert_eq!(m.dequeue_packet(a).unwrap(), pkt);
+        assert_eq!(m.dequeue_packet(b).unwrap(), pkt);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn copy_packet_multicast_fanout() {
+        let mut m = qm();
+        let src = FlowId::new(0);
+        m.enqueue_packet(src, b"multicast me").unwrap();
+        for dst in 1..5u32 {
+            m.copy_packet(src, FlowId::new(dst)).unwrap();
+        }
+        for dst in 1..5u32 {
+            assert_eq!(m.dequeue_packet(FlowId::new(dst)).unwrap(), b"multicast me");
+        }
+        assert_eq!(m.queue_len_packets(src), 1, "source keeps its copy");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn copy_packet_capacity_is_atomic() {
+        let cfg = QmConfig::builder()
+            .num_flows(2)
+            .num_segments(3)
+            .segment_bytes(64)
+            .build()
+            .unwrap();
+        let mut m = QueueManager::new(cfg);
+        let a = FlowId::new(0);
+        m.enqueue_packet(a, &[0u8; 128]).unwrap(); // 2 of 3 segments
+        assert_eq!(
+            m.copy_packet(a, FlowId::new(1)),
+            Err(QueueError::OutOfSegments)
+        );
+        assert!(m.is_empty(FlowId::new(1)), "no torn copy");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn copy_packet_rejects_open_destination() {
+        let mut m = qm();
+        let a = FlowId::new(0);
+        let b = FlowId::new(1);
+        m.enqueue_packet(a, b"src").unwrap();
+        m.enqueue(b, &[1; 64], SegmentPosition::First).unwrap(); // open
+        assert!(matches!(
+            m.copy_packet(a, b),
+            Err(QueueError::SarProtocol { .. })
+        ));
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn ptr_and_data_counters_move() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        let before = m.ptr_counters();
+        m.enqueue(f, b"abc", SegmentPosition::Only).unwrap();
+        let delta = m.ptr_counters().since(&before);
+        assert!(delta.total() > 0, "enqueue must touch pointer memory");
+        let (r, w) = m.data_counters();
+        assert_eq!((r, w), (0, 1), "one segment written, none read");
+    }
+}

@@ -1,0 +1,410 @@
+//! Egress scheduling over flow queues.
+//!
+//! The paper's motivation (§1) is that "to support advanced Quality of
+//! Service (QoS), a large number of independent queues is desirable" — the
+//! queues exist so that a *scheduler* can pick which flow transmits next.
+//! This module provides the three classic disciplines over a
+//! [`QueueManager`]'s flows:
+//!
+//! * [`StrictPriority`] — lower-indexed class always wins (802.1p style);
+//! * [`WeightedRoundRobin`] — packet-based weights, cheap but unfair for
+//!   mixed packet sizes;
+//! * [`DeficitRoundRobin`] — byte-accurate fairness (Shreedhar/Varghese),
+//!   the discipline per-flow queuing hardware is usually paired with.
+//!
+//! Schedulers only *choose* flows; dequeuing stays on the engine, so any
+//! discipline composes with any engine configuration.
+
+use crate::id::FlowId;
+use crate::manager::QueueManager;
+
+/// A scheduling discipline over a fixed set of flows.
+pub trait FlowScheduler {
+    /// Picks the next flow to serve, or `None` if every flow is empty.
+    ///
+    /// Implementations must only return flows with at least one complete
+    /// packet ready (`complete_packets > 0`).
+    fn next_flow(&mut self, qm: &QueueManager) -> Option<FlowId>;
+
+    /// Informs the discipline that `bytes` were just served from `flow`
+    /// (needed by byte-accounting disciplines like DRR).
+    fn served(&mut self, flow: FlowId, bytes: usize);
+}
+
+/// Serves the lowest-indexed non-empty flow first.
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::sched::{FlowScheduler, StrictPriority};
+/// use npqm_core::{FlowId, QmConfig, QueueManager};
+///
+/// # fn main() -> Result<(), npqm_core::QueueError> {
+/// let mut qm = QueueManager::new(QmConfig::small());
+/// qm.enqueue_packet(FlowId::new(5), b"low")?;
+/// qm.enqueue_packet(FlowId::new(1), b"high")?;
+/// let mut sched = StrictPriority::new(8);
+/// assert_eq!(sched.next_flow(&qm), Some(FlowId::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrictPriority {
+    flows: u32,
+}
+
+impl StrictPriority {
+    /// Creates a scheduler over flows `0..flows` (0 = highest priority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero.
+    pub fn new(flows: u32) -> Self {
+        assert!(flows > 0, "need at least one flow");
+        StrictPriority { flows }
+    }
+}
+
+impl FlowScheduler for StrictPriority {
+    fn next_flow(&mut self, qm: &QueueManager) -> Option<FlowId> {
+        (0..self.flows)
+            .map(FlowId::new)
+            .find(|&f| qm.complete_packets(f) > 0)
+    }
+
+    fn served(&mut self, _flow: FlowId, _bytes: usize) {}
+}
+
+/// Packet-based weighted round robin: flow `i` may send `weight[i]`
+/// packets per round.
+#[derive(Debug, Clone)]
+pub struct WeightedRoundRobin {
+    weights: Vec<u32>,
+    credits: Vec<u32>,
+    cursor: usize,
+}
+
+impl WeightedRoundRobin {
+    /// Creates a scheduler with one weight per flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is zero.
+    pub fn new(weights: Vec<u32>) -> Self {
+        assert!(!weights.is_empty(), "need at least one flow");
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "weights must be non-zero (a zero weight would starve the flow)"
+        );
+        let credits = weights.clone();
+        WeightedRoundRobin {
+            weights,
+            credits,
+            cursor: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.credits.copy_from_slice(&self.weights);
+    }
+}
+
+impl FlowScheduler for WeightedRoundRobin {
+    fn next_flow(&mut self, qm: &QueueManager) -> Option<FlowId> {
+        let n = self.weights.len();
+        // Two passes: the current round with remaining credits, then a
+        // refilled round. If both find nothing, the queues are empty.
+        for pass in 0..2 {
+            if pass == 1 {
+                self.refill();
+            }
+            for i in 0..n {
+                let idx = (self.cursor + i) % n;
+                let flow = FlowId::new(idx as u32);
+                if self.credits[idx] > 0 && qm.complete_packets(flow) > 0 {
+                    self.cursor = idx;
+                    return Some(flow);
+                }
+            }
+        }
+        None
+    }
+
+    fn served(&mut self, flow: FlowId, _bytes: usize) {
+        let idx = flow.as_usize();
+        self.credits[idx] = self.credits[idx].saturating_sub(1);
+        if self.credits[idx] == 0 {
+            self.cursor = (idx + 1) % self.weights.len();
+        }
+    }
+}
+
+/// Deficit round robin (Shreedhar & Varghese): byte-accurate fairness with
+/// per-flow quanta.
+#[derive(Debug, Clone)]
+pub struct DeficitRoundRobin {
+    quanta: Vec<u32>,
+    deficit: Vec<u64>,
+    cursor: usize,
+    /// Flow currently holding the round (keeps serving while deficit and
+    /// backlog allow, as the algorithm specifies).
+    active: Option<usize>,
+}
+
+impl DeficitRoundRobin {
+    /// Creates a scheduler with one byte-quantum per flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quanta` is empty or any quantum is zero.
+    pub fn new(quanta: Vec<u32>) -> Self {
+        assert!(!quanta.is_empty(), "need at least one flow");
+        assert!(quanta.iter().all(|&q| q > 0), "quanta must be non-zero");
+        let deficit = vec![0; quanta.len()];
+        DeficitRoundRobin {
+            quanta,
+            deficit,
+            cursor: 0,
+            active: None,
+        }
+    }
+
+    /// The current deficit counter of `flow` (for tests/monitoring).
+    pub fn deficit(&self, flow: FlowId) -> u64 {
+        self.deficit[flow.as_usize()]
+    }
+
+    fn head_bytes(qm: &QueueManager, flow: FlowId) -> Option<u64> {
+        if qm.complete_packets(flow) == 0 {
+            return None;
+        }
+        // The head packet's size: DRR compares it against the deficit.
+        // queue_len_bytes is the whole queue; we approximate the head size
+        // with a peek of the head segment chain via packet accounting:
+        // the engine exposes per-queue byte counts; for exact head-packet
+        // size we read the head (no dequeue).
+        Some(qm.head_packet_bytes(flow).unwrap_or(0))
+    }
+}
+
+impl FlowScheduler for DeficitRoundRobin {
+    fn next_flow(&mut self, qm: &QueueManager) -> Option<FlowId> {
+        let n = self.quanta.len();
+        // Keep serving the active flow while it can afford its head packet.
+        if let Some(idx) = self.active {
+            let flow = FlowId::new(idx as u32);
+            match Self::head_bytes(qm, flow) {
+                Some(head) if head <= self.deficit[idx] => return Some(flow),
+                _ => {
+                    if qm.complete_packets(flow) == 0 {
+                        self.deficit[idx] = 0; // empty queue forfeits deficit
+                    }
+                    self.active = None;
+                    self.cursor = (idx + 1) % n;
+                }
+            }
+        }
+        // Visit flows round-robin, granting each its quantum, until one can
+        // afford its head packet. Bounded: one quantum grant per flow per
+        // call sequence; after `n` visits with no progress, queues with
+        // backlog will eventually accumulate enough deficit — iterate a
+        // few rounds and bail out if really nothing is ready.
+        for _round in 0..64 {
+            let mut any_backlog = false;
+            for i in 0..n {
+                let idx = (self.cursor + i) % n;
+                let flow = FlowId::new(idx as u32);
+                let Some(head) = Self::head_bytes(qm, flow) else {
+                    continue;
+                };
+                any_backlog = true;
+                self.deficit[idx] += self.quanta[idx] as u64;
+                if head <= self.deficit[idx] {
+                    self.active = Some(idx);
+                    self.cursor = idx;
+                    return Some(flow);
+                }
+            }
+            if !any_backlog {
+                return None;
+            }
+        }
+        None
+    }
+
+    fn served(&mut self, flow: FlowId, bytes: usize) {
+        let idx = flow.as_usize();
+        self.deficit[idx] = self.deficit[idx].saturating_sub(bytes as u64);
+    }
+}
+
+/// Drives a scheduler: dequeues the next packet according to `sched`.
+///
+/// Returns `None` when every scheduled flow is empty.
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::sched::{drain_next, DeficitRoundRobin};
+/// use npqm_core::{FlowId, QmConfig, QueueManager};
+///
+/// # fn main() -> Result<(), npqm_core::QueueError> {
+/// let mut qm = QueueManager::new(QmConfig::small());
+/// qm.enqueue_packet(FlowId::new(0), &[1; 100])?;
+/// let mut drr = DeficitRoundRobin::new(vec![1500, 1500]);
+/// let (flow, pkt) = drain_next(&mut qm, &mut drr).unwrap();
+/// assert_eq!(flow, FlowId::new(0));
+/// assert_eq!(pkt.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn drain_next<S: FlowScheduler + ?Sized>(
+    qm: &mut QueueManager,
+    sched: &mut S,
+) -> Option<(FlowId, Vec<u8>)> {
+    let flow = sched.next_flow(qm)?;
+    let pkt = qm
+        .dequeue_packet(flow)
+        .expect("scheduler picked a ready flow");
+    sched.served(flow, pkt.len());
+    Some((flow, pkt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QmConfig;
+
+    fn engine() -> QueueManager {
+        QueueManager::new(QmConfig::small())
+    }
+
+    #[test]
+    fn strict_priority_orders_classes() {
+        let mut qm = engine();
+        qm.enqueue_packet(FlowId::new(3), b"c3").unwrap();
+        qm.enqueue_packet(FlowId::new(0), b"c0").unwrap();
+        qm.enqueue_packet(FlowId::new(7), b"c7").unwrap();
+        let mut sp = StrictPriority::new(8);
+        let mut order = Vec::new();
+        while let Some((f, _)) = drain_next(&mut qm, &mut sp) {
+            order.push(f.index());
+        }
+        assert_eq!(order, vec![0, 3, 7]);
+    }
+
+    #[test]
+    fn strict_priority_starves_low_classes() {
+        let mut qm = engine();
+        let mut sp = StrictPriority::new(2);
+        qm.enqueue_packet(FlowId::new(1), b"low").unwrap();
+        for _ in 0..5 {
+            qm.enqueue_packet(FlowId::new(0), b"high").unwrap();
+            let (f, _) = drain_next(&mut qm, &mut sp).unwrap();
+            assert_eq!(f.index(), 0, "class 1 must wait");
+        }
+        let (f, _) = drain_next(&mut qm, &mut sp).unwrap();
+        assert_eq!(f.index(), 1);
+    }
+
+    #[test]
+    fn wrr_respects_weights() {
+        let mut qm = engine();
+        // Flows 0 and 1 with weights 3:1, both saturated.
+        for _ in 0..12 {
+            qm.enqueue_packet(FlowId::new(0), &[0; 64]).unwrap();
+            qm.enqueue_packet(FlowId::new(1), &[1; 64]).unwrap();
+        }
+        let mut wrr = WeightedRoundRobin::new(vec![3, 1]);
+        let mut counts = [0u32; 2];
+        for _ in 0..16 {
+            let (f, _) = drain_next(&mut qm, &mut wrr).unwrap();
+            counts[f.as_usize()] += 1;
+        }
+        assert_eq!(counts, [12, 4], "3:1 service ratio");
+    }
+
+    #[test]
+    fn wrr_skips_empty_flows_without_wasting_credits() {
+        let mut qm = engine();
+        qm.enqueue_packet(FlowId::new(2), b"only").unwrap();
+        let mut wrr = WeightedRoundRobin::new(vec![4, 4, 1]);
+        let (f, _) = drain_next(&mut qm, &mut wrr).unwrap();
+        assert_eq!(f.index(), 2);
+        assert!(drain_next(&mut qm, &mut wrr).is_none());
+    }
+
+    #[test]
+    fn drr_is_byte_fair_with_mixed_packet_sizes() {
+        let mut qm = engine();
+        // Flow 0 sends jumbo-ish packets, flow 1 minimum-size ones. With
+        // equal quanta, served BYTES must converge, not packet counts.
+        for _ in 0..16 {
+            qm.enqueue_packet(FlowId::new(0), &[0; 640]).unwrap();
+            for _ in 0..10 {
+                qm.enqueue_packet(FlowId::new(1), &[1; 64]).unwrap();
+            }
+        }
+        let mut drr = DeficitRoundRobin::new(vec![640, 640]);
+        let mut bytes = [0usize; 2];
+        for _ in 0..100 {
+            let Some((f, pkt)) = drain_next(&mut qm, &mut drr) else {
+                break;
+            };
+            bytes[f.as_usize()] += pkt.len();
+        }
+        let ratio = bytes[0] as f64 / bytes[1] as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "byte ratio {ratio} ({bytes:?})"
+        );
+    }
+
+    #[test]
+    fn drr_weighted_quanta_split_bandwidth() {
+        let mut qm = engine();
+        for _ in 0..60 {
+            qm.enqueue_packet(FlowId::new(0), &[0; 64]).unwrap();
+            qm.enqueue_packet(FlowId::new(1), &[1; 64]).unwrap();
+        }
+        // 2:1 quanta -> 2:1 bytes.
+        let mut drr = DeficitRoundRobin::new(vec![128, 64]);
+        let mut bytes = [0usize; 2];
+        for _ in 0..90 {
+            let Some((f, pkt)) = drain_next(&mut qm, &mut drr) else {
+                break;
+            };
+            bytes[f.as_usize()] += pkt.len();
+        }
+        let ratio = bytes[0] as f64 / bytes[1] as f64;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio} ({bytes:?})");
+    }
+
+    #[test]
+    fn drr_empty_queue_forfeits_deficit() {
+        let mut qm = engine();
+        qm.enqueue_packet(FlowId::new(0), &[0; 64]).unwrap();
+        let mut drr = DeficitRoundRobin::new(vec![1000, 1000]);
+        drain_next(&mut qm, &mut drr).unwrap();
+        // Flow 0 is now empty; after the next scheduling pass its stale
+        // deficit must not accumulate further once it drains.
+        qm.enqueue_packet(FlowId::new(1), &[1; 64]).unwrap();
+        let (f, _) = drain_next(&mut qm, &mut drr).unwrap();
+        assert_eq!(f.index(), 1);
+        assert_eq!(drr.deficit(FlowId::new(0)), 0, "forfeited");
+    }
+
+    #[test]
+    fn all_disciplines_terminate_on_empty_engine() {
+        let qm = engine();
+        assert!(StrictPriority::new(4).next_flow(&qm).is_none());
+        assert!(WeightedRoundRobin::new(vec![1; 4]).next_flow(&qm).is_none());
+        assert!(DeficitRoundRobin::new(vec![64; 4]).next_flow(&qm).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be non-zero")]
+    fn zero_weight_panics() {
+        let _ = WeightedRoundRobin::new(vec![1, 0]);
+    }
+}

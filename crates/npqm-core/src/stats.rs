@@ -1,0 +1,93 @@
+//! Operation accounting for the queue manager.
+
+/// Counts of every queue-management operation executed by a
+/// [`crate::QueueManager`], plus aggregate payload traffic.
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::{QmConfig, QueueManager, FlowId};
+/// # fn main() -> Result<(), npqm_core::QueueError> {
+/// let mut qm = QueueManager::new(QmConfig::small());
+/// qm.enqueue_packet(FlowId::new(0), &[0u8; 100])?;
+/// assert_eq!(qm.stats().enqueues, 2); // two 64-byte segments
+/// assert_eq!(qm.stats().bytes_in, 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QmStats {
+    /// Segments enqueued.
+    pub enqueues: u64,
+    /// Segments dequeued.
+    pub dequeues: u64,
+    /// Head segments read in place.
+    pub reads: u64,
+    /// Head segments overwritten in place.
+    pub overwrites: u64,
+    /// Segment-length overwrites.
+    pub len_overwrites: u64,
+    /// Single segments deleted.
+    pub seg_deletes: u64,
+    /// Whole packets deleted.
+    pub pkt_deletes: u64,
+    /// Segments appended at packet heads.
+    pub head_appends: u64,
+    /// Segments appended at packet tails.
+    pub tail_appends: u64,
+    /// Packets moved between queues.
+    pub moves: u64,
+    /// Payload bytes accepted.
+    pub bytes_in: u64,
+    /// Payload bytes delivered.
+    pub bytes_out: u64,
+    /// Operations rejected with an error.
+    pub errors: u64,
+}
+
+impl QmStats {
+    /// Total successful operations.
+    pub fn total_ops(&self) -> u64 {
+        self.enqueues
+            + self.dequeues
+            + self.reads
+            + self.overwrites
+            + self.len_overwrites
+            + self.seg_deletes
+            + self.pkt_deletes
+            + self.head_appends
+            + self.tail_appends
+            + self.moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_all_operation_kinds() {
+        let s = QmStats {
+            enqueues: 1,
+            dequeues: 2,
+            reads: 3,
+            overwrites: 4,
+            len_overwrites: 5,
+            seg_deletes: 6,
+            pkt_deletes: 7,
+            head_appends: 8,
+            tail_appends: 9,
+            moves: 10,
+            bytes_in: 0,
+            bytes_out: 0,
+            errors: 99,
+        };
+        assert_eq!(s.total_ops(), 55);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(QmStats::default().total_ops(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # npqm-ixp — software queue management on an IXP1200-class NPU
+//!
+//! Reproduces §4 of *"Queue Management in Network Processors"*
+//! (Papaefstathiou et al., DATE 2005): the throughput of a queue-management
+//! program running on the six 200 MHz RISC microengines of Intel's
+//! IXP1200, as a function of the number of queues (**Table 2**).
+//!
+//! The governing effects are structural, not silicon-specific:
+//!
+//! 1. With few queues (≤16) all queue state fits in the on-chip scratch
+//!    memory and registers; per-packet cost is compute-bound.
+//! 2. With more queues the descriptors spill to external SRAM; every
+//!    access blocks the engine for the full controller round-trip, because
+//!    "the overhead for the context switch, in the case of multithreading,
+//!    exceeds the memory latency" \[10\] — multithreading cannot hide it.
+//! 3. With ~1K queues the descriptor and free-list working set spills to
+//!    SDRAM; six engines then saturate the SDRAM controller (random-bank
+//!    accesses every 160 ns), which is why six engines deliver only ~5× a
+//!    single engine.
+//!
+//! [`profile::OpProfile`] captures the per-packet access counts per regime
+//! (calibration documented there); [`memunit::MemUnit`] models the shared
+//! controllers; [`chip::IxpChip`] runs the engines against them.
+//!
+//! # Example
+//!
+//! ```
+//! use npqm_ixp::chip::IxpChip;
+//!
+//! // One engine, 16 queues: just under 1 Mpps (Table 2: 956 Kpps).
+//! let kpps = IxpChip::new(1, 16).run_kpps(1_000_000);
+//! assert!((900.0..1000.0).contains(&kpps.get()));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod memunit;
+pub mod perf;
+pub mod profile;
+pub mod threads;
+
+pub use chip::IxpChip;
+pub use perf::{run_table2, Table2Row, PAPER_TABLE2};
+pub use profile::OpProfile;

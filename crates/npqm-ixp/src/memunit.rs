@@ -1,0 +1,153 @@
+//! Shared memory-unit models (scratch, SRAM, SDRAM controllers).
+//!
+//! Each unit grants one reference per `service_interval` cycles (its
+//! pipelined throughput) and returns data `latency` cycles after the grant.
+//! References are *blocking* for the issuing microengine — the paper's \[10\]
+//! observation that the IXP1200's context-switch overhead exceeds the
+//! memory latency, so multithreading cannot hide it.
+//!
+//! Timings (200 MHz engine cycles), calibrated once against Table 2's
+//! single-engine column and the physical constants of §3:
+//!
+//! | unit    | latency | interval | note                                   |
+//! |---------|---------|----------|----------------------------------------|
+//! | scratch | 12      | 1        | on-chip, pipelined                     |
+//! | SRAM    | 51      | 2        | command queue + controller round-trip  |
+//! | SDRAM   | 119     | 32       | 32 cy = 160 ns: the §3 random-bank gap |
+
+/// A shared, FCFS, pipelined memory unit.
+///
+/// # Example
+///
+/// ```
+/// use npqm_ixp::memunit::MemUnit;
+///
+/// let mut sdram = MemUnit::sdram();
+/// let done_a = sdram.access(0);   // grant at 0, data at 119
+/// let done_b = sdram.access(10);  // grant at 32 (160 ns gap), data at 151
+/// assert_eq!(done_a, 119);
+/// assert_eq!(done_b, 151);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemUnit {
+    latency: u64,
+    service_interval: u64,
+    next_grant: u64,
+    grants: u64,
+    wait_cycles: u64,
+}
+
+impl MemUnit {
+    /// Creates a unit with the given data latency and grant interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_interval` is zero.
+    pub fn new(latency: u64, service_interval: u64) -> Self {
+        assert!(service_interval > 0, "service interval must be non-zero");
+        MemUnit {
+            latency,
+            service_interval,
+            next_grant: 0,
+            grants: 0,
+            wait_cycles: 0,
+        }
+    }
+
+    /// The on-chip scratch unit.
+    pub fn scratch() -> Self {
+        Self::new(12, 1)
+    }
+
+    /// The external SRAM unit.
+    pub fn sram() -> Self {
+        Self::new(51, 2)
+    }
+
+    /// The SDRAM unit (random-bank worst case: one grant per 160 ns).
+    pub fn sdram() -> Self {
+        Self::new(119, 32)
+    }
+
+    /// Issues a blocking reference at engine time `now`; returns the cycle
+    /// at which the data is available (the engine resumes).
+    pub fn access(&mut self, now: u64) -> u64 {
+        let grant = now.max(self.next_grant);
+        self.wait_cycles += grant - now;
+        self.next_grant = grant + self.service_interval;
+        self.grants += 1;
+        grant + self.latency
+    }
+
+    /// Data latency in cycles.
+    pub const fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Grant interval in cycles.
+    pub const fn service_interval(&self) -> u64 {
+        self.service_interval
+    }
+
+    /// References granted so far.
+    pub const fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total cycles engines spent waiting for grants (contention measure).
+    pub const fn wait_cycles(&self) -> u64 {
+        self.wait_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_access_costs_latency() {
+        let mut u = MemUnit::new(50, 2);
+        assert_eq!(u.access(100), 150);
+        assert_eq!(u.wait_cycles(), 0);
+        assert_eq!(u.grants(), 1);
+    }
+
+    #[test]
+    fn contention_queues_grants() {
+        let mut u = MemUnit::new(10, 4);
+        assert_eq!(u.access(0), 10);
+        // Second access at time 1 must wait for the grant slot at 4.
+        assert_eq!(u.access(1), 14);
+        assert_eq!(u.wait_cycles(), 3);
+        // Third straight after: grant at 8.
+        assert_eq!(u.access(2), 18);
+    }
+
+    #[test]
+    fn spaced_accesses_never_wait() {
+        let mut u = MemUnit::sdram();
+        let mut t = 0;
+        for _ in 0..10 {
+            let done = u.access(t);
+            assert_eq!(done, t + 119);
+            t = done + 50; // engine computes in between
+        }
+        assert_eq!(u.wait_cycles(), 0);
+    }
+
+    #[test]
+    fn paper_unit_constants() {
+        assert_eq!(MemUnit::scratch().latency(), 12);
+        assert_eq!(MemUnit::scratch().service_interval(), 1);
+        assert_eq!(MemUnit::sram().latency(), 51);
+        assert_eq!(MemUnit::sdram().latency(), 119);
+        // 32 cycles at 200 MHz = 160 ns: the §3 same-bank reuse gap.
+        assert_eq!(MemUnit::sdram().service_interval(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "service interval must be non-zero")]
+    fn zero_interval_panics() {
+        let _ = MemUnit::new(1, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Access-pattern generators feeding the DDR ports.
+//!
+//! §3 simulates "random bank access patterns … as a realistic common case
+//! for typical network applications incorporating a large number of
+//! simultaneously active queues". [`RandomBanks`] is that case; the other
+//! generators exist for ablations (sequential striding, hot-bank skew).
+
+use crate::ddr::{Access, AccessKind};
+use npqm_sim::rng::Xoshiro256pp;
+
+/// Supplies the next access for a given port.
+///
+/// Ports 0 and 1 are the write ports, 2 and 3 the read ports, matching the
+/// paper's "2 write and 2 read ports" (a write and a read port from/to the
+/// network, a write and a read port from/to an internal processing unit).
+pub trait PortPattern {
+    /// Produces the next access for `port` (0..4).
+    fn next_access(&mut self, port: usize) -> Access;
+}
+
+/// The direction convention for the four paper ports.
+pub fn port_kind(port: usize) -> AccessKind {
+    if port < 2 {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+/// Uniform-random bank per access (the paper's workload).
+#[derive(Debug, Clone)]
+pub struct RandomBanks {
+    banks: u32,
+    rng: Xoshiro256pp,
+}
+
+impl RandomBanks {
+    /// Creates a generator over `banks` banks with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(banks: u32, seed: u64) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        RandomBanks {
+            banks,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PortPattern for RandomBanks {
+    fn next_access(&mut self, port: usize) -> Access {
+        Access {
+            bank: self.rng.next_below(self.banks as u64) as u32,
+            kind: port_kind(port),
+        }
+    }
+}
+
+/// Sequential striding per port: port *p* walks banks `p, p+stride, …`.
+///
+/// Models segment-aligned buffers carved sequentially from the free list —
+/// the best case for bank interleaving.
+#[derive(Debug, Clone)]
+pub struct SequentialBanks {
+    banks: u32,
+    counters: [u32; 4],
+    stride: u32,
+}
+
+impl SequentialBanks {
+    /// Creates a generator over `banks` banks with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `stride` is zero.
+    pub fn new(banks: u32, stride: u32) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        assert!(stride > 0, "stride must be non-zero");
+        SequentialBanks {
+            banks,
+            counters: [0, 1, 2, 3],
+            stride,
+        }
+    }
+}
+
+impl PortPattern for SequentialBanks {
+    fn next_access(&mut self, port: usize) -> Access {
+        let bank = self.counters[port] % self.banks;
+        self.counters[port] = self.counters[port].wrapping_add(self.stride);
+        Access {
+            bank,
+            kind: port_kind(port),
+        }
+    }
+}
+
+/// Skewed bank popularity: a fraction `hot_fraction` of accesses hit bank 0.
+///
+/// Models a LIFO free list recycling the same buffer addresses under light
+/// load, which concentrates traffic on few banks.
+#[derive(Debug, Clone)]
+pub struct HotBank {
+    banks: u32,
+    hot_fraction: f64,
+    rng: Xoshiro256pp,
+}
+
+impl HotBank {
+    /// Creates a generator sending `hot_fraction` of traffic to bank 0 and
+    /// spreading the rest uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or `hot_fraction` is outside `[0, 1]`.
+    pub fn new(banks: u32, hot_fraction: f64, seed: u64) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot_fraction must be a probability"
+        );
+        HotBank {
+            banks,
+            hot_fraction,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PortPattern for HotBank {
+    fn next_access(&mut self, port: usize) -> Access {
+        let bank = if self.rng.chance(self.hot_fraction) {
+            0
+        } else {
+            self.rng.next_below(self.banks as u64) as u32
+        };
+        Access {
+            bank,
+            kind: port_kind(port),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_kinds_follow_paper_convention() {
+        assert_eq!(port_kind(0), AccessKind::Write);
+        assert_eq!(port_kind(1), AccessKind::Write);
+        assert_eq!(port_kind(2), AccessKind::Read);
+        assert_eq!(port_kind(3), AccessKind::Read);
+    }
+
+    #[test]
+    fn random_banks_in_range_and_deterministic() {
+        let mut a = RandomBanks::new(8, 42);
+        let mut b = RandomBanks::new(8, 42);
+        for i in 0..100 {
+            let x = a.next_access(i % 4);
+            let y = b.next_access(i % 4);
+            assert_eq!(x, y);
+            assert!(x.bank < 8);
+        }
+    }
+
+    #[test]
+    fn random_banks_roughly_uniform() {
+        let mut g = RandomBanks::new(4, 7);
+        let mut counts = [0u32; 4];
+        for i in 0..40_000 {
+            counts[g.next_access(i % 4).bank as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..=11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn sequential_strides() {
+        let mut g = SequentialBanks::new(8, 4);
+        assert_eq!(g.next_access(0).bank, 0);
+        assert_eq!(g.next_access(0).bank, 4);
+        assert_eq!(g.next_access(0).bank, 0);
+        assert_eq!(g.next_access(1).bank, 1);
+        assert_eq!(g.next_access(1).bank, 5);
+    }
+
+    #[test]
+    fn hot_bank_skews() {
+        let mut g = HotBank::new(8, 0.9, 3);
+        let hits = (0..10_000)
+            .filter(|i| g.next_access(i % 4).bank == 0)
+            .count();
+        assert!(hits > 8_500, "bank 0 hits {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = RandomBanks::new(0, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! ZBT (zero-bus-turnaround) SRAM model for pointer memories.
+//!
+//! The paper stores "the queue information (mainly pointers) … in an
+//! external ZBT SRAM" (§5) and "all manipulations on data structures
+//! (pointers) occur in parallel with data transfers" (§6). ZBT parts accept
+//! one access per cycle with no read/write turnaround; data returns after a
+//! fixed pipeline latency.
+
+use npqm_sim::time::Cycle;
+
+/// Pipelined ZBT SRAM timing model.
+///
+/// # Example
+///
+/// ```
+/// use npqm_mem::zbt::ZbtSram;
+/// use npqm_sim::time::Cycle;
+///
+/// let mut sram = ZbtSram::new(2); // 2-cycle pipeline latency
+/// let done = sram.issue(Cycle::new(10));
+/// assert_eq!(done, Cycle::new(12));
+/// // Fully pipelined: the next access can issue on the very next cycle.
+/// let done2 = sram.issue(Cycle::new(11));
+/// assert_eq!(done2, Cycle::new(13));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZbtSram {
+    latency: u64,
+    next_issue: Cycle,
+    accesses: u64,
+    stall_cycles: u64,
+}
+
+impl ZbtSram {
+    /// Creates a model with the given pipeline latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        ZbtSram {
+            latency,
+            next_issue: Cycle::ZERO,
+            accesses: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Pipeline latency in cycles.
+    pub const fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Issues an access at `now` (or as soon after as the single issue port
+    /// allows) and returns its completion cycle.
+    pub fn issue(&mut self, now: Cycle) -> Cycle {
+        let start = now.max(self.next_issue);
+        self.stall_cycles += start.saturating_sub(now).as_u64();
+        self.next_issue = start + 1; // one new access per cycle
+        self.accesses += 1;
+        start + self.latency
+    }
+
+    /// Issues `n` back-to-back accesses starting at `now`; returns the
+    /// completion cycle of the last one.
+    ///
+    /// Because ZBT parts are fully pipelined, `n` accesses complete in
+    /// `n - 1 + latency` cycles.
+    pub fn issue_burst(&mut self, now: Cycle, n: u64) -> Cycle {
+        assert!(n > 0, "burst must contain at least one access");
+        let mut done = Cycle::ZERO;
+        let mut at = now;
+        for _ in 0..n {
+            done = self.issue(at);
+            at = self.next_issue;
+        }
+        done
+    }
+
+    /// Total accesses issued.
+    pub const fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Cycles lost waiting for the issue port.
+    pub const fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_issue() {
+        let mut s = ZbtSram::new(2);
+        assert_eq!(s.issue(Cycle::new(0)), Cycle::new(2));
+        assert_eq!(s.issue(Cycle::new(1)), Cycle::new(3));
+        assert_eq!(s.issue(Cycle::new(2)), Cycle::new(4));
+        assert_eq!(s.accesses(), 3);
+        assert_eq!(s.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn port_contention_stalls() {
+        let mut s = ZbtSram::new(2);
+        s.issue(Cycle::new(5));
+        // Same-cycle second access must wait one cycle.
+        assert_eq!(s.issue(Cycle::new(5)), Cycle::new(8));
+        assert_eq!(s.stall_cycles(), 1);
+    }
+
+    #[test]
+    fn burst_completes_in_n_plus_latency_minus_one() {
+        let mut s = ZbtSram::new(2);
+        // 5 accesses from cycle 10: last issues at 14, completes at 16.
+        assert_eq!(s.issue_burst(Cycle::new(10), 5), Cycle::new(16));
+        assert_eq!(s.accesses(), 5);
+    }
+
+    #[test]
+    fn zero_latency_combinational() {
+        let mut s = ZbtSram::new(0);
+        assert_eq!(s.issue(Cycle::new(3)), Cycle::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn empty_burst_panics() {
+        let mut s = ZbtSram::new(1);
+        s.issue_burst(Cycle::ZERO, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # npqm-mms — the paper's FPGA Memory Management System, as a model
+//!
+//! Cycle-level model of §6 of *"Queue Management in Network Processors"*
+//! (Papaefstathiou et al., DATE 2005): a hardware queue manager sustaining
+//! 32 K flow queues at ~6.1 Gbps. The architecture (paper Figure 2):
+//!
+//! ```text
+//!            DRAM (data)          SRAM (pointers)
+//!               │                     │
+//!           ┌───┴───┐            ┌────┴────┐
+//!           │  DMC  │◄───────────│   DQM   │
+//!           └───┬───┘            └────┬────┘
+//!               │      commands       │
+//!        ┌──────┴──────────┬──────────┴──────┐
+//!        │ Segmentation    │ Internal        │
+//!        │    Reassembly   │   Scheduler     │
+//!        └───┬────────┬────┴───┬─────────┬───┘
+//!           IN       OUT      CPU       CPU      (4 request ports)
+//! ```
+//!
+//! * [`command::MmsCommand`] — the nine commands of Table 4.
+//! * [`microcode`] — per-command DQM micro-programs over the ZBT pointer
+//!   memory; their lengths regenerate **Table 4** (7–12 cycles each).
+//! * [`scheduler::InternalScheduler`] — per-port command FIFOs with
+//!   priorities ("the internal scheduler forwards the incoming commands …
+//!   giving different service priorities to each port").
+//! * [`dmc::Dmc`] — data-memory controller over the DDR bank model
+//!   ("it issues interleaved commands so as to minimize bank conflicts").
+//! * [`mms::Mms`] — the assembled system; [`perf`] drives it through the
+//!   load sweep of **Table 5** and the 6.1 Gbps headline claim.
+//!
+//! # Example
+//!
+//! ```
+//! use npqm_mms::microcode::{execution_cycles, PAPER_TABLE4};
+//! use npqm_mms::command::MmsCommand;
+//!
+//! // Table 4: Enqueue takes 10 cycles, Dequeue 11 — hence the paper's
+//! // 10.5-cycle steady-state execution overhead.
+//! assert_eq!(execution_cycles(MmsCommand::Enqueue), 10);
+//! assert_eq!(execution_cycles(MmsCommand::Dequeue), 11);
+//! for (cmd, cycles) in PAPER_TABLE4 {
+//!     assert_eq!(execution_cycles(cmd), cycles);
+//! }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod dmc;
+pub mod microcode;
+pub mod mms;
+pub mod perf;
+pub mod sar;
+pub mod scheduler;
+
+pub use command::MmsCommand;
+pub use mms::{Mms, MmsConfig};
+pub use perf::{run_table5, Table5Row, PAPER_TABLE5};

@@ -1,0 +1,263 @@
+//! The assembled NPU platform: end-to-end packet-path accounting.
+//!
+//! Combines the [`crate::swqm`] cycle model with a functional
+//! [`npqm_core::QueueManager`] (the same data structures the cycle model
+//! prices), and derives the §5.3/§5.4 bandwidth claims:
+//!
+//! * a 100 MHz PowerPC spends all its cycles to sustain a full-duplex
+//!   100 Mbps link with single-beat copies;
+//! * PLB line transactions raise that to ≈200 Mbps;
+//! * raising the CPU clock without raising the bus clock helps little,
+//!   because most cycles are bus cycles.
+
+use crate::swqm::{CopyStrategy, SwQueueManager};
+use npqm_core::{FlowId, QmConfig, QueueError, QueueManager};
+use npqm_sim::rate::Mbps;
+use npqm_sim::time::Freq;
+
+/// The reference NPU: PowerPC + PLB + software queue manager + functional
+/// queue engine.
+#[derive(Debug, Clone)]
+pub struct NpuSystem {
+    cpu: Freq,
+    bus: Freq,
+    qm_model: SwQueueManager,
+    engine: QueueManager,
+    cycles_spent: u64,
+}
+
+impl NpuSystem {
+    /// The paper's prototype: CPU and PLB both at 100 MHz.
+    pub fn paper() -> Self {
+        Self::with_clocks(Freq::from_mhz(100), Freq::from_mhz(100))
+    }
+
+    /// A prototype with custom CPU/bus clocks (the §5.3 scaling study).
+    pub fn with_clocks(cpu: Freq, bus: Freq) -> Self {
+        let cfg = QmConfig::builder()
+            .num_flows(1024)
+            .num_segments(16 * 1024)
+            .segment_bytes(64)
+            .build()
+            .expect("valid NPU engine configuration");
+        NpuSystem {
+            cpu,
+            bus,
+            qm_model: SwQueueManager::paper(),
+            engine: QueueManager::new(cfg),
+            cycles_spent: 0,
+        }
+    }
+
+    /// CPU clock.
+    pub const fn cpu(&self) -> Freq {
+        self.cpu
+    }
+
+    /// Bus clock.
+    pub const fn bus(&self) -> Freq {
+        self.bus
+    }
+
+    /// The cycle model in use.
+    pub const fn model(&self) -> &SwQueueManager {
+        &self.qm_model
+    }
+
+    /// The functional engine (read-only).
+    pub const fn engine(&self) -> &QueueManager {
+        &self.engine
+    }
+
+    /// Total modeled CPU cycles spent so far.
+    pub const fn cycles_spent(&self) -> u64 {
+        self.cycles_spent
+    }
+
+    /// Functionally enqueues `packet` on `flow` and accounts the modeled
+    /// cycles of the §5.2 software path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the functional engine's [`QueueError`].
+    pub fn enqueue_packet(
+        &mut self,
+        flow: FlowId,
+        packet: &[u8],
+        strategy: CopyStrategy,
+    ) -> Result<u64, QueueError> {
+        self.engine.enqueue_packet(flow, packet)?;
+        let segs = packet.len().div_ceil(64) as u64;
+        let mut cycles = self.qm_model.enqueue_cycles(true, strategy);
+        if segs > 1 {
+            cycles += (segs - 1) * self.qm_model.enqueue_cycles(false, strategy);
+        }
+        self.cycles_spent += cycles;
+        Ok(cycles)
+    }
+
+    /// Functionally dequeues one packet from `flow`, accounting cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the functional engine's [`QueueError`].
+    pub fn dequeue_packet(
+        &mut self,
+        flow: FlowId,
+        strategy: CopyStrategy,
+    ) -> Result<(Vec<u8>, u64), QueueError> {
+        let packet = self.engine.dequeue_packet(flow)?;
+        let segs = packet.len().div_ceil(64) as u64;
+        let cycles = segs * self.qm_model.dequeue_cycles(strategy);
+        self.cycles_spent += cycles;
+        Ok((packet, cycles))
+    }
+
+    /// CPU cycles to enqueue + dequeue one worst-case 64-byte packet
+    /// (the full-duplex per-packet budget of §5.3).
+    ///
+    /// Uses the conservative continuation-segment enqueue cost, matching
+    /// the paper's §5.3 arithmetic (128 + 118 with line transactions).
+    pub const fn full_duplex_cycles(&self, strategy: CopyStrategy) -> u64 {
+        self.qm_model.enqueue_cycles(false, strategy) + self.qm_model.dequeue_cycles(strategy)
+    }
+
+    /// Maximum sustainable full-duplex rate for 64-byte packets with CPU
+    /// and bus at the paper's common 100 MHz clock.
+    pub fn supported_rate(&self, strategy: CopyStrategy) -> Mbps {
+        // One 512-bit packet must be enqueued and dequeued per packet time.
+        let cycles = self.full_duplex_cycles(strategy) as f64;
+        Mbps::new(512.0 * self.cpu.hz() as f64 / cycles / 1e6)
+    }
+
+    /// Supported rate when CPU and bus clocks differ: instruction cycles
+    /// scale with the CPU clock, PLB transactions with the bus clock —
+    /// which is why §5.3 notes that a 400 MHz PowerPC barely helps while
+    /// the PLB stays at or below 200 MHz.
+    pub fn supported_rate_scaled(&self, strategy: CopyStrategy) -> Mbps {
+        let (instr, bus) = self.split_full_duplex_cycles(strategy);
+        let seconds = instr as f64 / self.cpu.hz() as f64 + bus as f64 / self.bus.hz() as f64;
+        Mbps::new(512.0 / seconds / 1e6)
+    }
+
+    /// Splits the full-duplex budget into (CPU-instruction, bus) cycles.
+    fn split_full_duplex_cycles(&self, strategy: CopyStrategy) -> (u64, u64) {
+        let plb = self.qm_model.plb();
+        // Pointer sub-ops: instructions + single-beat transactions.
+        // pop(14i,2r,1w) + link_rest(36i,2r,3w) + push(23i,1r,2w) +
+        // unlink(32i,2r,1w).
+        let instr_ptr = 14 + 36 + 23 + 32;
+        let reads = 2 + 2 + 1 + 2;
+        let writes = 1 + 3 + 2 + 1;
+        let bus_ptr = reads * plb.single_read + writes * plb.single_write;
+        let (instr_copy, bus_copy) = match strategy {
+            // 8 iterations: loop overhead on the CPU, beats on the bus.
+            CopyStrategy::SingleBeat => (
+                8 * plb.copy_loop_overhead,
+                8 * (plb.single_read + plb.single_write),
+            ),
+            CopyStrategy::LineTransaction => (0, plb.line_copy()),
+            CopyStrategy::Dma => (0, plb.dma_setup()),
+        };
+        (instr_ptr + instr_copy, bus_ptr + 2 * bus_copy)
+    }
+}
+
+impl Default for NpuSystem {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_duplex_100mbps_consumes_the_whole_cpu() {
+        // §5.3: the packet slot at 100 Mbps full duplex is 256 cycles per
+        // direction (512 for the in+out pair); the single-beat budget of
+        // 468 cycles fits in 512 but leaves no headroom.
+        let npu = NpuSystem::paper();
+        let budget = npu.full_duplex_cycles(CopyStrategy::SingleBeat);
+        assert!(budget <= 512, "budget {budget}");
+        assert!(budget > 256, "budget {budget} would leave headroom");
+        let rate = npu.supported_rate(CopyStrategy::SingleBeat).get();
+        assert!((95.0..135.0).contains(&rate), "rate {rate} Mbps");
+    }
+
+    #[test]
+    fn line_transactions_reach_200mbps() {
+        let npu = NpuSystem::paper();
+        let rate = npu.supported_rate(CopyStrategy::LineTransaction).get();
+        // "the 100MHz PowerPC would sustain up to about 200 Mbps".
+        assert!((190.0..230.0).contains(&rate), "rate {rate} Mbps");
+    }
+
+    #[test]
+    fn dma_frees_cpu_cycles_for_other_work() {
+        let npu = NpuSystem::paper();
+        let with_dma = npu.full_duplex_cycles(CopyStrategy::Dma);
+        let with_lines = npu.full_duplex_cycles(CopyStrategy::LineTransaction);
+        // "the overall throughput does not increase significantly, but …
+        //  the processor has additional available processing power".
+        let ratio = with_dma as f64 / with_lines as f64;
+        assert!((0.8..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn faster_cpu_without_faster_bus_helps_little() {
+        // §5.3: 400 MHz CPU on a 100 MHz PLB.
+        let base = NpuSystem::paper().supported_rate_scaled(CopyStrategy::SingleBeat);
+        let fast_cpu = NpuSystem::with_clocks(Freq::from_mhz(400), Freq::from_mhz(100))
+            .supported_rate_scaled(CopyStrategy::SingleBeat);
+        let gain = fast_cpu.get() / base.get();
+        assert!(
+            gain < 1.45,
+            "4x CPU clock must give <1.45x throughput, got {gain}"
+        );
+        // Scaling BOTH clocks is the real lever (§5.4's rule of thumb).
+        let both = NpuSystem::with_clocks(Freq::from_mhz(200), Freq::from_mhz(200))
+            .supported_rate_scaled(CopyStrategy::SingleBeat);
+        let both_gain = both.get() / base.get();
+        assert!((1.9..2.1).contains(&both_gain), "gain {both_gain}");
+    }
+
+    #[test]
+    fn functional_path_matches_cycle_model() {
+        let mut npu = NpuSystem::paper();
+        let flow = FlowId::new(5);
+        let pkt = vec![7u8; 64];
+        let enq = npu
+            .enqueue_packet(flow, &pkt, CopyStrategy::SingleBeat)
+            .unwrap();
+        assert_eq!(enq, 216, "single-segment packet: Table 3 total");
+        let (out, deq) = npu.dequeue_packet(flow, CopyStrategy::SingleBeat).unwrap();
+        assert_eq!(out, pkt);
+        assert_eq!(deq, 230);
+        assert_eq!(npu.cycles_spent(), 216 + 230);
+    }
+
+    #[test]
+    fn multi_segment_packets_pay_the_rest_cost() {
+        let mut npu = NpuSystem::paper();
+        let flow = FlowId::new(1);
+        let pkt = vec![1u8; 200]; // 4 segments
+        let enq = npu
+            .enqueue_packet(flow, &pkt, CopyStrategy::SingleBeat)
+            .unwrap();
+        assert_eq!(enq, 216 + 3 * 238);
+        let (_, deq) = npu.dequeue_packet(flow, CopyStrategy::SingleBeat).unwrap();
+        assert_eq!(deq, 4 * 230);
+    }
+
+    #[test]
+    fn errors_propagate_without_accounting() {
+        let mut npu = NpuSystem::paper();
+        let before = npu.cycles_spent();
+        assert!(npu
+            .dequeue_packet(FlowId::new(0), CopyStrategy::SingleBeat)
+            .is_err());
+        assert_eq!(npu.cycles_spent(), before);
+    }
+}

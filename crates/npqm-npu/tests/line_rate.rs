@@ -1,0 +1,61 @@
+//! Emergent check of §5.3/§5.4: whether the software queue manager keeps
+//! up with a line rate is decided by `per-frame CPU budget` vs `frame
+//! time` — simulated as a MAC feeding the DP-BRAM while the CPU drains it.
+
+use npqm_npu::mac::MacPort;
+use npqm_npu::swqm::CopyStrategy;
+use npqm_npu::system::NpuSystem;
+
+/// Simulates `frames` minimum-size frames arriving at line rate into the
+/// DP-BRAM while the CPU serves enqueue+dequeue per frame; returns the
+/// fraction of frames dropped at the staging buffer.
+fn drop_fraction(line_mbps: u32, strategy: CopyStrategy, frames: u32) -> f64 {
+    let npu = NpuSystem::paper();
+    let mut mac = MacPort::new(line_mbps, 4096);
+    let cpu_per_frame = npu.full_duplex_cycles(strategy); // cycles at 100 MHz
+    let frame_interval = npu.cpu().cycles_in(mac.frame_time(64)).as_u64();
+
+    let mut cpu_free_at = 0u64; // cycle at which the CPU can take new work
+    for i in 0..frames as u64 {
+        let arrival = i * frame_interval;
+        // CPU retires any staged frames it finished before this arrival.
+        while mac.occupied() >= 64 && cpu_free_at + cpu_per_frame <= arrival {
+            cpu_free_at += cpu_per_frame;
+            mac.drain(64);
+            mac.tx(64);
+        }
+        mac.rx(64);
+        if cpu_free_at < arrival {
+            cpu_free_at = arrival;
+        }
+    }
+    let (rx, dropped, _) = mac.counters();
+    dropped as f64 / (rx + dropped) as f64
+}
+
+#[test]
+fn single_beat_copies_hold_100mbps() {
+    // 468 cycles per frame < 672-cycle frame slot: stable, no drops.
+    assert_eq!(drop_fraction(100, CopyStrategy::SingleBeat, 5_000), 0.0);
+}
+
+#[test]
+fn single_beat_copies_collapse_at_200mbps() {
+    // 468 > 336: the DP-BRAM fills and the MAC drops a large fraction.
+    let loss = drop_fraction(200, CopyStrategy::SingleBeat, 5_000);
+    assert!(loss > 0.2, "loss {loss}");
+}
+
+#[test]
+fn line_transactions_hold_200mbps() {
+    // 244 < 336: the §5.3 optimization makes 200 Mbps feasible.
+    assert_eq!(drop_fraction(200, CopyStrategy::LineTransaction, 5_000), 0.0);
+}
+
+#[test]
+fn even_line_transactions_collapse_at_gigabit() {
+    // §5.4: "the performance limitations of the software approach,
+    // probably, make it unsuitable for Gigabit networks."
+    let loss = drop_fraction(1000, CopyStrategy::LineTransaction, 5_000);
+    assert!(loss > 0.5, "loss {loss}");
+}

@@ -1,0 +1,47 @@
+//! # npqm-sim — simulation kernel for the `npqm` workspace
+//!
+//! This crate is the foundation of the reproduction of
+//! *"Queue Management in Network Processors"* (Papaefstathiou et al.,
+//! DATE 2005). Every hardware model in the workspace — the DDR bank-timing
+//! model, the IXP1200 microengines, the generic NPU prototype and the
+//! hardware memory-management system (MMS) — is a deterministic,
+//! single-threaded cycle simulation built from the primitives defined here:
+//!
+//! * [`time`] — [`Cycle`], [`Picos`] and [`Freq`] newtypes with exact
+//!   (integer picosecond) conversion between clock domains.
+//! * [`rate`] — [`Gbps`], [`Mpps`] and friends for reporting results in the
+//!   paper's units.
+//! * [`rng`] — a self-contained xoshiro256++ generator so that experiment
+//!   streams are reproducible bit-for-bit across runs and platforms.
+//! * [`fifo`] — bounded FIFOs with occupancy and waiting-time statistics
+//!   (the paper's Table 5 reports FIFO delay explicitly).
+//! * [`stats`] — counters, mean/variance trackers and histograms.
+//! * [`event`] — a time-ordered event queue for discrete-event models.
+//!
+//! # Example
+//!
+//! ```
+//! use npqm_sim::time::{Freq, Picos};
+//!
+//! // The MMS of the paper runs at a conservative 125 MHz.
+//! let clk = Freq::from_mhz(125);
+//! assert_eq!(clk.cycle_time(), Picos::from_nanos(8));
+//! // One command per 84 ns is 10.5 cycles at 125 MHz.
+//! assert_eq!(clk.cycles_in(Picos::from_nanos(84 * 2)).as_u64(), 21);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fifo;
+pub mod rate;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use fifo::Fifo;
+pub use rate::{Gbps, Kpps, Mbps, Mpps};
+pub use rng::Xoshiro256pp;
+pub use stats::{Counter, Histogram, MeanVar};
+pub use time::{Cycle, Freq, Picos};

@@ -1,0 +1,24 @@
+//! The application scenarios of the paper's §6 list, implemented over the
+//! queue engine.
+//!
+//! "we have managed to accelerate several real world network applications
+//! such as: Ethernet switching (with QoS e.g. 802.1p, 802.1q), ATM
+//! switching, IP over ATM internetworking, IP routing, Network Address
+//! Translation, PPP (and others) encapsulation."
+//!
+//! Each scenario drives [`npqm_core::QueueManager`] through the command
+//! set the MMS offers — per-flow enqueue/dequeue, header modification via
+//! overwrite, encapsulation via head/tail append, requeueing via move —
+//! and is exercised by the repository's examples and integration tests.
+
+pub mod atm;
+pub mod ethernet_switch;
+pub mod ip_route;
+pub mod nat;
+pub mod ppp;
+
+pub use atm::AtmSwitch;
+pub use ethernet_switch::QosSwitch;
+pub use ip_route::{Lpm, Router};
+pub use nat::Nat;
+pub use ppp::PppEncapsulator;

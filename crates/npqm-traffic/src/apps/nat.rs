@@ -1,0 +1,251 @@
+//! Network Address Translation over the queue engine.
+//!
+//! Outbound packets get their source address rewritten to the public
+//! address (header modification in place — the MMS overwrite command) and
+//! are queued toward the WAN; the translation table remembers the mapping
+//! so inbound packets can be restored and queued toward the LAN.
+
+use crate::packet::{internet_checksum, Ipv4Packet};
+use npqm_core::{FlowId, QmConfig, QueueError, QueueManager};
+use std::collections::HashMap;
+
+/// Direction queues of the NAT box.
+const WAN_FLOW: FlowId = FlowId::new(0);
+const LAN_FLOW: FlowId = FlowId::new(1);
+
+/// A source-NAT box with two direction queues.
+///
+/// # Example
+///
+/// ```
+/// use npqm_traffic::apps::Nat;
+/// use npqm_traffic::packet::Ipv4Packet;
+///
+/// let mut nat = Nat::new([203, 0, 113, 1])?;
+/// let private = Ipv4Packet {
+///     src: [192, 168, 0, 42],
+///     dst: [8, 8, 8, 8],
+///     protocol: 17,
+///     ttl: 64,
+///     payload: vec![1, 2, 3, 4],
+/// };
+/// nat.outbound(&private.to_bytes())?;
+/// let translated = Ipv4Packet::parse(&nat.poll_wan()?.unwrap())?;
+/// assert_eq!(translated.src, [203, 0, 113, 1]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Nat {
+    engine: QueueManager,
+    public: [u8; 4],
+    /// destination → original private source (a simplified binding keyed
+    /// by remote endpoint; real NAT adds ports, same data path).
+    bindings: HashMap<[u8; 4], [u8; 4]>,
+    translated_out: u64,
+    translated_in: u64,
+}
+
+/// NAT processing errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NatError {
+    /// The packet failed to parse.
+    BadPacket,
+    /// No binding exists for an inbound packet.
+    NoBinding,
+    /// The queue engine rejected the packet.
+    Queue(QueueError),
+}
+
+impl core::fmt::Display for NatError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NatError::BadPacket => write!(f, "malformed packet"),
+            NatError::NoBinding => write!(f, "no nat binding"),
+            NatError::Queue(e) => write!(f, "queue error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NatError {}
+
+impl From<QueueError> for NatError {
+    fn from(e: QueueError) -> Self {
+        NatError::Queue(e)
+    }
+}
+
+fn rewrite(packet: &[u8], src: Option<[u8; 4]>, dst: Option<[u8; 4]>) -> Vec<u8> {
+    let mut out = packet.to_vec();
+    if let Some(s) = src {
+        out[12..16].copy_from_slice(&s);
+    }
+    if let Some(d) = dst {
+        out[16..20].copy_from_slice(&d);
+    }
+    out[10] = 0;
+    out[11] = 0;
+    let csum = internet_checksum(&out[..20]);
+    out[10..12].copy_from_slice(&csum.to_be_bytes());
+    out
+}
+
+impl Nat {
+    /// Creates a NAT box advertising `public` as its WAN address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the engine.
+    pub fn new(public: [u8; 4]) -> Result<Self, QueueError> {
+        let cfg = QmConfig::builder()
+            .num_flows(2)
+            .num_segments(8 * 1024)
+            .segment_bytes(64)
+            .build()?;
+        Ok(Nat {
+            engine: QueueManager::new(cfg),
+            public,
+            bindings: HashMap::new(),
+            translated_out: 0,
+            translated_in: 0,
+        })
+    }
+
+    /// Translates a LAN→WAN packet and queues it on the WAN queue.
+    ///
+    /// # Errors
+    ///
+    /// [`NatError::BadPacket`] or queue errors.
+    pub fn outbound(&mut self, packet: &[u8]) -> Result<(), NatError> {
+        let parsed = Ipv4Packet::parse(packet).map_err(|_| NatError::BadPacket)?;
+        self.bindings.insert(parsed.dst, parsed.src);
+        let out = rewrite(packet, Some(self.public), None);
+        self.engine.enqueue_packet(WAN_FLOW, &out)?;
+        self.translated_out += 1;
+        Ok(())
+    }
+
+    /// Translates a WAN→LAN packet back to the bound private address and
+    /// queues it on the LAN queue.
+    ///
+    /// # Errors
+    ///
+    /// [`NatError::NoBinding`] when no prior outbound packet created the
+    /// mapping, [`NatError::BadPacket`], or queue errors.
+    pub fn inbound(&mut self, packet: &[u8]) -> Result<(), NatError> {
+        let parsed = Ipv4Packet::parse(packet).map_err(|_| NatError::BadPacket)?;
+        let private = *self.bindings.get(&parsed.src).ok_or(NatError::NoBinding)?;
+        let out = rewrite(packet, None, Some(private));
+        self.engine.enqueue_packet(LAN_FLOW, &out)?;
+        self.translated_in += 1;
+        Ok(())
+    }
+
+    /// Pops the next translated packet heading to the WAN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn poll_wan(&mut self) -> Result<Option<Vec<u8>>, NatError> {
+        if self.engine.complete_packets(WAN_FLOW) == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.engine.dequeue_packet(WAN_FLOW)?))
+    }
+
+    /// Pops the next translated packet heading to the LAN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn poll_lan(&mut self) -> Result<Option<Vec<u8>>, NatError> {
+        if self.engine.complete_packets(LAN_FLOW) == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.engine.dequeue_packet(LAN_FLOW)?))
+    }
+
+    /// `(outbound, inbound)` translation counters.
+    pub const fn counters(&self) -> (u64, u64) {
+        (self.translated_out, self.translated_in)
+    }
+
+    /// Active bindings.
+    pub fn bindings(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// The underlying engine (for invariant checks in tests).
+    pub const fn engine(&self) -> &QueueManager {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(src: [u8; 4], dst: [u8; 4]) -> Vec<u8> {
+        Ipv4Packet {
+            src,
+            dst,
+            protocol: 17,
+            ttl: 60,
+            payload: vec![9; 20],
+        }
+        .to_bytes()
+    }
+
+    #[test]
+    fn outbound_rewrites_source() {
+        let mut nat = Nat::new([203, 0, 113, 7]).unwrap();
+        nat.outbound(&pkt([192, 168, 1, 2], [8, 8, 8, 8])).unwrap();
+        let out = Ipv4Packet::parse(&nat.poll_wan().unwrap().unwrap()).unwrap();
+        assert_eq!(out.src, [203, 0, 113, 7]);
+        assert_eq!(out.dst, [8, 8, 8, 8]);
+        assert_eq!(nat.bindings(), 1);
+        nat.engine().verify().unwrap();
+    }
+
+    #[test]
+    fn inbound_restores_private_address() {
+        let mut nat = Nat::new([203, 0, 113, 7]).unwrap();
+        nat.outbound(&pkt([192, 168, 1, 2], [8, 8, 8, 8])).unwrap();
+        nat.poll_wan().unwrap();
+        // The reply comes from 8.8.8.8 to the public address.
+        nat.inbound(&pkt([8, 8, 8, 8], [203, 0, 113, 7])).unwrap();
+        let back = Ipv4Packet::parse(&nat.poll_lan().unwrap().unwrap()).unwrap();
+        assert_eq!(back.dst, [192, 168, 1, 2], "binding restored");
+        assert_eq!(nat.counters(), (1, 1));
+    }
+
+    #[test]
+    fn inbound_without_binding_is_rejected() {
+        let mut nat = Nat::new([1, 2, 3, 4]).unwrap();
+        assert_eq!(
+            nat.inbound(&pkt([9, 9, 9, 9], [1, 2, 3, 4])),
+            Err(NatError::NoBinding)
+        );
+        assert!(nat.poll_lan().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_packets_are_rejected() {
+        let mut nat = Nat::new([1, 2, 3, 4]).unwrap();
+        assert_eq!(nat.outbound(&[1, 2, 3]), Err(NatError::BadPacket));
+        let mut corrupted = pkt([10, 0, 0, 1], [8, 8, 4, 4]);
+        corrupted[13] ^= 0xFF;
+        assert_eq!(nat.outbound(&corrupted), Err(NatError::BadPacket));
+    }
+
+    #[test]
+    fn checksums_stay_valid_through_translation() {
+        let mut nat = Nat::new([100, 64, 0, 1]).unwrap();
+        for i in 0..10u8 {
+            nat.outbound(&pkt([192, 168, 0, i], [8, 8, 8, i])).unwrap();
+        }
+        while let Some(bytes) = nat.poll_wan().unwrap() {
+            assert!(Ipv4Packet::parse(&bytes).is_ok(), "checksum must verify");
+        }
+    }
+}

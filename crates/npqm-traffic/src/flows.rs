@@ -1,0 +1,185 @@
+//! Flow-population models and the flow table.
+//!
+//! NPUs typically have "to manage thousands of flows" (§1). `FlowMix`
+//! draws which flow each packet belongs to — uniformly, or Zipf-skewed as
+//! real traffic is — and `FlowTable` maps packet header keys to the dense
+//! [`FlowId`] space of the queue engine.
+
+use npqm_core::FlowId;
+use npqm_sim::rng::Xoshiro256pp;
+use std::collections::HashMap;
+
+/// Flow-popularity model.
+#[derive(Debug, Clone)]
+pub enum FlowMix {
+    /// All flows equally likely.
+    Uniform {
+        /// Number of flows.
+        flows: u32,
+    },
+    /// Zipf-distributed popularity with exponent `s` (precomputed CDF).
+    Zipf {
+        /// Number of flows.
+        flows: u32,
+        /// Cumulative probability per rank.
+        cdf: Vec<f64>,
+    },
+}
+
+impl FlowMix {
+    /// Uniform popularity over `flows` flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero.
+    pub fn uniform(flows: u32) -> Self {
+        assert!(flows > 0, "need at least one flow");
+        FlowMix::Uniform { flows }
+    }
+
+    /// Zipf popularity with exponent `s` over `flows` flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero or `s` is negative.
+    pub fn zipf(flows: u32, s: f64) -> Self {
+        assert!(flows > 0, "need at least one flow");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(flows as usize);
+        let mut acc = 0.0;
+        for rank in 1..=flows {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        FlowMix::Zipf { flows, cdf }
+    }
+
+    /// Number of flows in the population.
+    pub fn flows(&self) -> u32 {
+        match self {
+            FlowMix::Uniform { flows } => *flows,
+            FlowMix::Zipf { flows, .. } => *flows,
+        }
+    }
+
+    /// Draws the flow for the next packet.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> FlowId {
+        match self {
+            FlowMix::Uniform { flows } => FlowId::new(rng.next_below(*flows as u64) as u32),
+            FlowMix::Zipf { cdf, .. } => {
+                let u = rng.next_f64();
+                let idx = cdf.partition_point(|&p| p < u);
+                FlowId::new(idx.min(cdf.len() - 1) as u32)
+            }
+        }
+    }
+}
+
+/// Maps arbitrary header keys (e.g. a 5-tuple hash, a VCI, a VLAN+port
+/// pair) to densely allocated [`FlowId`]s, as an NPU's classifier would.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    map: HashMap<u64, FlowId>,
+    next: u32,
+    capacity: u32,
+}
+
+impl FlowTable {
+    /// Creates a table that can allocate up to `capacity` flow ids.
+    pub fn new(capacity: u32) -> Self {
+        FlowTable {
+            map: HashMap::new(),
+            next: 0,
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, allocating the next free flow id on first sight.
+    ///
+    /// Returns `None` when the table is full.
+    pub fn classify(&mut self, key: u64) -> Option<FlowId> {
+        if let Some(&f) = self.map.get(&key) {
+            return Some(f);
+        }
+        if self.next >= self.capacity {
+            return None;
+        }
+        let f = FlowId::new(self.next);
+        self.next += 1;
+        self.map.insert(key, f);
+        Some(f)
+    }
+
+    /// Number of flows allocated so far.
+    pub fn len(&self) -> u32 {
+        self.next
+    }
+
+    /// Whether no flows have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.next == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_all_flows() {
+        let mix = FlowMix::uniform(8);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(mix.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 8);
+        assert_eq!(mix.flows(), 8);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mix = FlowMix::zipf(1000, 1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[mix.sample(&mut rng).index() as usize] += 1;
+        }
+        // Rank 1 should get ~1/H(1000) = ~13.4% of traffic.
+        let top = counts[0] as f64 / 100_000.0;
+        assert!((0.10..0.17).contains(&top), "top share {top}");
+        // And roughly twice rank 2.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mix = FlowMix::zipf(4, 0.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[mix.sample(&mut rng).index() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn flow_table_allocates_densely() {
+        let mut t = FlowTable::new(2);
+        assert!(t.is_empty());
+        let a = t.classify(0xAAAA).unwrap();
+        let b = t.classify(0xBBBB).unwrap();
+        assert_eq!(a, FlowId::new(0));
+        assert_eq!(b, FlowId::new(1));
+        assert_eq!(t.classify(0xAAAA), Some(a), "stable mapping");
+        assert_eq!(t.classify(0xCCCC), None, "table full");
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! # npqm-traffic — synthetic workloads for network-processor experiments
+//!
+//! The paper evaluates queue management under "the memory access patterns
+//! of real-world network applications" and lists the applications its MMS
+//! accelerates (§6): Ethernet switching with QoS (802.1p/q), ATM switching,
+//! IP over ATM, IP routing, NAT and PPP encapsulation. This crate provides:
+//!
+//! * [`packet`] — real bit-level codecs for Ethernet (+ 802.1Q VLAN tags),
+//!   IPv4 (with header checksum), ATM cells and AAL5 frames (with CRC-32);
+//! * [`size`] — packet-size distributions (worst-case 64-byte, IMIX,
+//!   uniform);
+//! * [`arrival`] — arrival processes (CBR, Poisson, bursty on-off);
+//! * [`flows`] — flow-population models (uniform, Zipf) and a flow table;
+//! * [`trace`] — recordable/replayable workload traces;
+//! * [`apps`] — the six paper applications implemented over
+//!   [`npqm_core::QueueManager`], used by the examples and integration
+//!   tests.
+//!
+//! # Example
+//!
+//! ```
+//! use npqm_traffic::packet::{EthernetFrame, MacAddr, VlanTag};
+//!
+//! let frame = EthernetFrame {
+//!     dst: MacAddr([0, 1, 2, 3, 4, 5]),
+//!     src: MacAddr([6, 7, 8, 9, 10, 11]),
+//!     vlan: Some(VlanTag { pcp: 5, vid: 42 }),
+//!     ethertype: 0x0800,
+//!     payload: vec![0xAB; 46],
+//! };
+//! let bytes = frame.to_bytes();
+//! let parsed = EthernetFrame::parse(&bytes).unwrap();
+//! assert_eq!(parsed, frame);
+//! assert_eq!(parsed.vlan.unwrap().pcp, 5); // the 802.1p priority
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod arrival;
+pub mod flows;
+pub mod packet;
+pub mod size;
+pub mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use flows::FlowMix;
+pub use packet::{AtmCell, EthernetFrame, Ipv4Packet, MacAddr, VlanTag};
+pub use size::SizeDistribution;
+pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,70 @@
+//! Explore the DDR design space of §3: banks, schedulers, access patterns
+//! and the read/write-grouping run limit.
+//!
+//! Run with: `cargo run --example memory_explorer --release`
+
+use npqm::mem::ddr::DdrConfig;
+use npqm::mem::pattern::{HotBank, RandomBanks, SequentialBanks};
+use npqm::mem::sched::{run_schedule, NaiveRoundRobin, Reordering};
+
+fn main() {
+    let slots = 100_000;
+
+    println!("DDR throughput loss vs banks (random banks, turnaround modeled)");
+    println!("{:>6} {:>12} {:>12} {:>12}", "banks", "naive", "reorder", "speedup");
+    for banks in [1u32, 2, 4, 8, 12, 16, 32] {
+        let cfg = DdrConfig::paper(banks);
+        let naive = run_schedule(
+            &cfg,
+            NaiveRoundRobin::new(),
+            RandomBanks::new(banks, 7),
+            slots,
+        );
+        let opt = run_schedule(&cfg, Reordering::new(), RandomBanks::new(banks, 7), slots);
+        println!(
+            "{banks:>6} {:>12.3} {:>12.3} {:>11.2}x",
+            naive.loss(),
+            opt.loss(),
+            opt.utilization() / naive.utilization()
+        );
+    }
+
+    println!("\neffect of the same-direction run limit (8 banks):");
+    println!("{:>8} {:>12} {:>14}", "max_run", "loss", "gbps@64B");
+    let cfg = DdrConfig::paper(8);
+    for max_run in [1u32, 2, 3, 4, 6, 8] {
+        let r = run_schedule(
+            &cfg,
+            Reordering::with_max_run(max_run),
+            RandomBanks::new(8, 9),
+            slots,
+        );
+        println!("{max_run:>8} {:>12.3} {:>14.3}", r.loss(), r.gbps(&cfg, 64));
+    }
+
+    println!("\naccess-pattern sensitivity (8 banks, reordering):");
+    let patterns: [(&str, Box<dyn FnMut() -> _>); 3] = [
+        ("random", Box::new(|| {
+            run_schedule(&cfg, Reordering::new(), RandomBanks::new(8, 3), slots)
+        })),
+        ("sequential", Box::new(|| {
+            run_schedule(&cfg, Reordering::new(), SequentialBanks::new(8, 4), slots)
+        })),
+        ("hot bank (70%)", Box::new(|| {
+            run_schedule(&cfg, Reordering::new(), HotBank::new(8, 0.7, 3), slots)
+        })),
+    ];
+    for (name, mut run) in patterns {
+        let r = run();
+        println!(
+            "{name:>16}: loss {:.3} -> {:.2} Gbps of 64-byte segments",
+            r.loss(),
+            r.gbps(&cfg, 64)
+        );
+    }
+
+    println!(
+        "\ntakeaway (§3): banks alone cannot fix a naive scheduler; the \
+         reordering scheduler with read/write grouping halves the loss at 8 banks."
+    );
+}

@@ -1,0 +1,47 @@
+//! # npqm — Queue Management in Network Processors
+//!
+//! A comprehensive Rust reproduction of *"Queue Management in Network
+//! Processors"* (Papaefstathiou, Orphanoudakis, Kornaros, Kachris,
+//! Mavroidis, Nikologiannis — DATE 2005): the reusable per-flow queue
+//! management library the paper's hardware implements, plus cycle-level
+//! models of every platform the paper evaluates.
+//!
+//! ## Workspace map
+//!
+//! | crate | contents | paper section |
+//! |-------|----------|---------------|
+//! | [`sim`] | cycles, events, FIFOs, RNG, statistics | — |
+//! | [`core`] | segments, free lists, queue tables, the MMS command set, SAR | §5.2, §6 |
+//! | [`mem`] | DDR bank-timing model + access schedulers, ZBT SRAM | §3 (Table 1) |
+//! | [`ixp`] | IXP1200 microengine/memory-unit model | §4 (Table 2) |
+//! | [`npu`] | PowerPC + PLB prototype cycle model | §5 (Table 3) |
+//! | [`mms`] | the hardware MMS: DQM, DMC, scheduler | §6 (Tables 4, 5) |
+//! | [`traffic`] | packet codecs, generators, app scenarios | §1, §6 |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use npqm::core::{QmConfig, QueueManager, FlowId};
+//!
+//! # fn main() -> Result<(), npqm::core::QueueError> {
+//! let mut qm = QueueManager::new(QmConfig::small());
+//! qm.enqueue_packet(FlowId::new(3), b"hello, 2005")?;
+//! assert_eq!(qm.dequeue_packet(FlowId::new(3))?, b"hello, 2005");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios (QoS Ethernet switching, IP
+//! routing + NAT, ATM SAR, a memory-scheduler explorer) and the
+//! `npqm-bench` crate for the binaries that regenerate every table of the
+//! paper.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use npqm_core as core;
+pub use npqm_ixp as ixp;
+pub use npqm_mem as mem;
+pub use npqm_mms as mms;
+pub use npqm_npu as npu;
+pub use npqm_sim as sim;
+pub use npqm_traffic as traffic;

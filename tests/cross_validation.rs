@@ -1,0 +1,159 @@
+//! Cross-crate validation: the MMS timing model, the NPU model and the
+//! pure software engine must agree functionally, because they share the
+//! same queue engine underneath.
+
+use npqm::core::{FlowId, QmConfig, QueueManager, SegmentPosition};
+use npqm::mms::mms::{Mms, MmsConfig};
+use npqm::mms::scheduler::Port;
+use npqm::mms::MmsCommand;
+use npqm::npu::swqm::CopyStrategy;
+use npqm::npu::system::NpuSystem;
+use npqm::sim::rng::Xoshiro256pp;
+use npqm::sim::time::Cycle;
+
+/// Drive the MMS system model and a bare QueueManager with the same
+/// enqueue/dequeue sequence; their functional state must match exactly.
+#[test]
+fn mms_model_matches_bare_engine() {
+    let mut mms = Mms::new(MmsConfig::paper());
+    let cfg = QmConfig::builder()
+        .num_flows(1024)
+        .num_segments(64 * 1024)
+        .segment_bytes(64)
+        .build()
+        .unwrap();
+    let mut bare = QueueManager::new(cfg);
+
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    let payload = vec![0xA5u8; 64];
+    let mut now = Cycle::ZERO;
+    let mut depths = [0i64; 16];
+
+    for step in 0..3_000u64 {
+        now = Cycle::new(step * 16); // slow enough that nothing queues up
+        let flow = rng.next_below(16) as u32;
+        let f = FlowId::new(flow);
+        let enqueue = depths[flow as usize] == 0 || rng.chance(0.5);
+        if enqueue {
+            assert!(mms.submit(now, Port::In, MmsCommand::Enqueue, f));
+            bare.enqueue(f, &payload, SegmentPosition::Only).unwrap();
+            depths[flow as usize] += 1;
+        } else {
+            assert!(mms.submit(now, Port::Out, MmsCommand::Dequeue, f));
+            bare.dequeue(f).unwrap();
+            depths[flow as usize] -= 1;
+        }
+        // Let the command fully execute before the next one.
+        for t in 0..16 {
+            mms.tick(now + t);
+        }
+    }
+    mms.run(now + 16, 200);
+
+    assert_eq!(mms.stats().functional_misses.get(), 0);
+    for flow in 0..16u32 {
+        let f = FlowId::new(flow);
+        assert_eq!(
+            mms.engine().queue_len_segments(f),
+            bare.queue_len_segments(f),
+            "flow {flow} diverged"
+        );
+        assert_eq!(depths[flow as usize] as u32, bare.queue_len_segments(f));
+    }
+    mms.engine().verify().unwrap();
+    bare.verify().unwrap();
+}
+
+/// The NPU platform model embeds the same engine: packets that flow
+/// through it keep byte-exact payloads while cycles are accounted.
+#[test]
+fn npu_model_preserves_payloads_and_accounts_cycles() {
+    let mut npu = NpuSystem::paper();
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let mut expected = Vec::new();
+    for i in 0..50u32 {
+        let len = 1 + rng.next_below(1500) as usize;
+        let pkt: Vec<u8> = (0..len).map(|j| (i as usize + j) as u8).collect();
+        npu.enqueue_packet(FlowId::new(i % 8), &pkt, CopyStrategy::LineTransaction)
+            .unwrap();
+        expected.push((i % 8, pkt));
+    }
+    let mut total_cycles = 0;
+    for (flow, pkt) in expected {
+        let (out, cycles) = npu
+            .dequeue_packet(FlowId::new(flow), CopyStrategy::LineTransaction)
+            .unwrap();
+        assert_eq!(out, pkt);
+        total_cycles += cycles;
+    }
+    assert!(total_cycles > 0);
+    assert!(
+        npu.cycles_spent() > total_cycles,
+        "enqueue cycles must be included"
+    );
+    npu.engine().verify().unwrap();
+}
+
+/// The reified command interface and the direct method interface are
+/// interchangeable.
+#[test]
+fn command_interface_equals_method_interface() {
+    use npqm::core::{Command, Outcome};
+    let cfg = QmConfig::small();
+    let mut via_commands = QueueManager::new(cfg);
+    let mut via_methods = QueueManager::new(cfg);
+    let mut rng = Xoshiro256pp::seed_from_u64(31);
+
+    for step in 0..500u32 {
+        let f = FlowId::new(rng.next_below(8) as u32);
+        let g = FlowId::new(rng.next_below(8) as u32);
+        let data = vec![step as u8; 1 + rng.next_below(64) as usize];
+        match rng.next_below(5) {
+            0 => {
+                let a = via_commands.execute(Command::Enqueue {
+                    flow: f,
+                    data: data.clone(),
+                    pos: SegmentPosition::Only,
+                });
+                let b = via_methods.enqueue(f, &data, SegmentPosition::Only);
+                assert_eq!(a.is_ok(), b.is_ok());
+            }
+            1 => {
+                let a = via_commands.execute(Command::Dequeue { flow: f });
+                let b = via_methods.dequeue(f);
+                match (a, b) {
+                    (Ok(Outcome::Segment(sa)), Ok(sb)) => assert_eq!(sa, sb),
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                    (x, y) => panic!("diverged: {x:?} vs {y:?}"),
+                }
+            }
+            2 => {
+                let a = via_commands.execute(Command::Move { src: f, dst: g });
+                let b = via_methods.move_packet(f, g);
+                assert_eq!(a.is_ok(), b.is_ok());
+            }
+            3 => {
+                let a = via_commands.execute(Command::Overwrite {
+                    flow: f,
+                    data: data.clone(),
+                });
+                let b = via_methods.overwrite_head(f, &data);
+                assert_eq!(a.is_ok(), b.is_ok());
+            }
+            _ => {
+                let a = via_commands.execute(Command::DeletePacket { flow: f });
+                let b = via_methods.delete_packet(f);
+                assert_eq!(a.is_ok(), b.is_ok());
+            }
+        }
+    }
+    for flow in 0..8u32 {
+        let f = FlowId::new(flow);
+        assert_eq!(
+            via_commands.queue_len_bytes(f),
+            via_methods.queue_len_bytes(f)
+        );
+    }
+    via_commands.verify().unwrap();
+    via_methods.verify().unwrap();
+}

@@ -1,0 +1,89 @@
+//! Cross-crate ablation: the queue engine's free-list discipline shapes
+//! the DRAM bank access pattern (DESIGN.md's core↔mem link).
+//!
+//! A LIFO free list recycles recently freed segments, concentrating
+//! traffic on few banks under light load; a FIFO free list cycles through
+//! the whole segment space, approximating the round-robin striping the
+//! DDR wants. This test records *actual allocation streams* from the
+//! engine and replays them through the §3 DDR model.
+
+use npqm::core::config::FreeListDiscipline;
+use npqm::core::{FlowId, QmConfig, QueueManager, SegmentPosition};
+use npqm::mem::addrmap::{AddressMap, SegmentStream};
+use npqm::mem::ddr::DdrConfig;
+use npqm::mem::sched::{run_schedule, Reordering};
+
+/// Records the segment ids an engine allocates under a light
+/// enqueue-then-dequeue workload (queue stays shallow, so LIFO recycles).
+fn allocation_stream(discipline: FreeListDiscipline, ops: usize) -> Vec<u32> {
+    let cfg = QmConfig::builder()
+        .num_flows(4)
+        .num_segments(1024)
+        .segment_bytes(64)
+        .freelist_discipline(discipline)
+        .build()
+        .unwrap();
+    let mut qm = QueueManager::new(cfg);
+    let mut stream = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let flow = FlowId::new((i % 4) as u32);
+        let seg = qm
+            .enqueue(flow, &[0u8; 64], SegmentPosition::Only)
+            .unwrap();
+        stream.push(seg.index());
+        qm.dequeue(flow).unwrap(); // light load: queue drains immediately
+    }
+    qm.verify().unwrap();
+    stream
+}
+
+#[test]
+fn lifo_recycles_the_same_segments() {
+    let stream = allocation_stream(FreeListDiscipline::Lifo, 1000);
+    let distinct: std::collections::HashSet<_> = stream.iter().collect();
+    assert!(
+        distinct.len() <= 4,
+        "LIFO under light load reuses a handful of segments, got {}",
+        distinct.len()
+    );
+}
+
+#[test]
+fn fifo_cycles_the_whole_segment_space() {
+    let stream = allocation_stream(FreeListDiscipline::Fifo, 1000);
+    let distinct: std::collections::HashSet<_> = stream.iter().collect();
+    assert!(
+        distinct.len() >= 900,
+        "FIFO strides the pool, got {} distinct segments",
+        distinct.len()
+    );
+}
+
+#[test]
+fn fifo_freelist_yields_higher_dram_utilization() {
+    let map = AddressMap::paper(8);
+    let ddr = DdrConfig::paper_conflicts_only(8);
+    let slots = 40_000;
+
+    let lifo = run_schedule(
+        &ddr,
+        Reordering::new(),
+        SegmentStream::new(map, &allocation_stream(FreeListDiscipline::Lifo, 2000)),
+        slots,
+    );
+    let fifo = run_schedule(
+        &ddr,
+        Reordering::new(),
+        SegmentStream::new(map, &allocation_stream(FreeListDiscipline::Fifo, 2000)),
+        slots,
+    );
+    // LIFO's hot segments collapse onto few banks: heavy conflicts.
+    // FIFO's striding spreads them: near-zero conflicts.
+    assert!(
+        fifo.loss() + 0.25 < lifo.loss(),
+        "fifo loss {} must be far below lifo loss {}",
+        fifo.loss(),
+        lifo.loss()
+    );
+    assert!(fifo.loss() < 0.05, "fifo loss {}", fifo.loss());
+}
