@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI for the npqm workspace. Runs offline: every dependency is an in-repo
+# path crate (see crates/npqm-prop and crates/npqm-criterion for the
+# proptest/criterion stand-ins).
+#
+#   ./ci.sh         # format check, clippy (warnings are errors), tier-1
+#   ./ci.sh quick   # tier-1 only (build + test)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+tier1() {
+    echo "==> cargo build --release"
+    cargo build --release
+    echo "==> cargo test -q"
+    cargo test -q
+}
+
+if [[ "${1:-}" == "quick" ]]; then
+    tier1
+    exit 0
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+tier1
+
+echo "==> cargo run --release -p npqm-bench --bin all_tables"
+cargo run --release -q -p npqm-bench --bin all_tables >/dev/null
+
+echo "CI green."

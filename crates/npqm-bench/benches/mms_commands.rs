@@ -33,9 +33,19 @@ fn bench_system_loop(c: &mut Criterion) {
             for t in 0..2_000u64 {
                 let now = Cycle::new(t);
                 if t % 2 == 0 {
-                    mms.submit(now, Port::In, MmsCommand::Enqueue, FlowId::new((t % 8) as u32));
+                    mms.submit(
+                        now,
+                        Port::In,
+                        MmsCommand::Enqueue,
+                        FlowId::new((t % 8) as u32),
+                    );
                 } else {
-                    mms.submit(now, Port::Out, MmsCommand::Dequeue, FlowId::new((t % 8) as u32));
+                    mms.submit(
+                        now,
+                        Port::Out,
+                        MmsCommand::Dequeue,
+                        FlowId::new((t % 8) as u32),
+                    );
                 }
                 mms.tick(now);
             }

@@ -1,10 +1,10 @@
 //! Criterion benches of the platform models (IXP chip, NPU accounting).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npqm_core::FlowId;
 use npqm_ixp::chip::IxpChip;
 use npqm_npu::swqm::CopyStrategy;
 use npqm_npu::system::NpuSystem;
-use npqm_core::FlowId;
 use std::hint::black_box;
 
 fn bench_ixp(c: &mut Criterion) {

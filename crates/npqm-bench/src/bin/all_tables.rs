@@ -1,10 +1,8 @@
 //! Runs every table experiment and dumps a machine-readable JSON summary
 //! (the source of EXPERIMENTS.md's paper-vs-measured numbers).
 
-use npqm_bench::to_json_string;
-use serde::Serialize;
+use npqm_bench::{to_json_string, Json, ToJson};
 
-#[derive(Serialize)]
 struct Summary {
     table1: Vec<npqm_mem::experiments::Table1Row>,
     table2: Vec<Table2Out>,
@@ -16,11 +14,38 @@ struct Summary {
     saturation_gbps: f64,
 }
 
-#[derive(Serialize)]
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table1", self.table1.to_json()),
+            ("table2", self.table2.to_json()),
+            ("table3", self.table3.to_json()),
+            (
+                "table3_line_transactions",
+                self.table3_line_transactions.to_json(),
+            ),
+            ("table4", self.table4.to_json()),
+            ("table5", self.table5.to_json()),
+            ("saturation_mpps", self.saturation_mpps.to_json()),
+            ("saturation_gbps", self.saturation_gbps.to_json()),
+        ])
+    }
+}
+
 struct Table2Out {
     queues: u32,
     one_engine_kpps: f64,
     six_engines_mpps: f64,
+}
+
+impl ToJson for Table2Out {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("queues", self.queues.to_json()),
+            ("one_engine_kpps", self.one_engine_kpps.to_json()),
+            ("six_engines_mpps", self.six_engines_mpps.to_json()),
+        ])
+    }
 }
 
 fn main() {

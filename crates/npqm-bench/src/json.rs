@@ -1,0 +1,282 @@
+//! Minimal JSON document model used for the machine-readable result dumps.
+//!
+//! The workspace builds offline, so `serde`/`serde_json` are unavailable;
+//! result types instead convert into a [`Json`] tree via [`ToJson`] and are
+//! pretty-printed by [`Json::pretty`]. Conversions for the table row types
+//! of the model crates live here so the table binaries stay declarative.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact rather than routed through `f64`).
+    Int(i64),
+    /// A floating-point number; non-finite values print as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object node from `(key, value)` pairs.
+    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Pretty-prints with two-space indentation (stable field order).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) if x.is_finite() => {
+                // Guarantee a number token that round-trips as f64.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.iter(), |out, item, ind| {
+                item.write(out, ind);
+            }),
+            Json::Obj(fields) => {
+                write_seq(out, indent, '{', '}', fields.iter(), |out, (k, v), ind| {
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, ind);
+                })
+            }
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, usize),
+) {
+    if items.len() == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    let inner = indent + 1;
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&"  ".repeat(inner));
+        write_item(out, item, inner);
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into the [`Json`] document model.
+pub trait ToJson {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                // Values beyond i64 fall back to a float rather than
+                // silently wrapping negative.
+                match i64::try_from(*self) {
+                    Ok(i) => Json::Int(i),
+                    Err(_) => Json::Num(*self as f64),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tojson_int!(i32, i64, u32, u64, usize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl ToJson for npqm_mem::experiments::Table1Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("banks", self.banks.to_json()),
+            ("naive_conflicts", self.naive_conflicts.to_json()),
+            ("naive_both", self.naive_both.to_json()),
+            ("opt_conflicts", self.opt_conflicts.to_json()),
+            ("opt_both", self.opt_both.to_json()),
+        ])
+    }
+}
+
+impl ToJson for npqm_npu::swqm::Table3 {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("free_list_enqueue", self.free_list_enqueue.to_json()),
+            ("free_list_dequeue", self.free_list_dequeue.to_json()),
+            (
+                "enqueue_segment_first",
+                self.enqueue_segment_first.to_json(),
+            ),
+            ("enqueue_segment_rest", self.enqueue_segment_rest.to_json()),
+            ("dequeue_segment", self.dequeue_segment.to_json()),
+            ("copy_segment", self.copy_segment.to_json()),
+            ("total_enqueue_first", self.total_enqueue_first.to_json()),
+            ("total_enqueue_rest", self.total_enqueue_rest.to_json()),
+            ("total_dequeue", self.total_dequeue.to_json()),
+        ])
+    }
+}
+
+impl ToJson for npqm_mms::perf::Table5Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("load_gbps", self.load_gbps.to_json()),
+            ("fifo_delay", self.fifo_delay.to_json()),
+            ("execution_delay", self.execution_delay.to_json()),
+            ("data_delay", self.data_delay.to_json()),
+            ("total", self.total.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Int(7).pretty(), "7");
+        assert_eq!(Json::Num(1.5).pretty(), "1.5");
+        assert_eq!(Json::Num(2.0).pretty(), "2.0");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::Null.pretty(), "null");
+    }
+
+    #[test]
+    fn huge_u64_does_not_wrap_negative() {
+        assert_eq!(u64::MAX.to_json().pretty(), format!("{}", u64::MAX as f64));
+        assert_eq!((i64::MAX as u64).to_json(), Json::Int(i64::MAX));
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::Str("a\"b\\c\n".into()).pretty(), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn nested_pretty_layout() {
+        let doc = Json::obj([("xs", vec![1i32, 2].to_json()), ("name", "q".to_json())]);
+        assert_eq!(
+            doc.pretty(),
+            "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"name\": \"q\"\n}"
+        );
+    }
+
+    #[test]
+    fn table_rows_convert() {
+        let row = npqm_mms::perf::PAPER_TABLE5[0];
+        let json = row.to_json();
+        assert!(json.pretty().contains("load_gbps"));
+    }
+}

@@ -17,6 +17,10 @@
 //! host-speed library (queue operations, schedulers, codecs) and ablations
 //! (free-list discipline, scheduler run limit, DMC lookahead).
 
+pub mod json;
+
+pub use json::{Json, ToJson};
+
 use std::fmt::Write as _;
 
 /// Formats one comparison row: a label, the paper's value, the measured
@@ -44,8 +48,8 @@ pub fn compare_header(title: &str) -> String {
 }
 
 /// Serializes `value` as pretty JSON (for machine-readable result dumps).
-pub fn to_json_string<T: serde::Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("serializable result types")
+pub fn to_json_string<T: ToJson>(value: &T) -> String {
+    value.to_json().pretty()
 }
 
 #[cfg(test)]

@@ -95,10 +95,7 @@ pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> 
                 }
                 let rec = pm.seg_silent(seg);
                 if rec.len == 0 || rec.len as u32 > cfg.segment_bytes() {
-                    return violation(format!(
-                        "{flow}: segment {seg} has bad length {}",
-                        rec.len
-                    ));
+                    return violation(format!("{flow}: segment {seg} has bad length {}", rec.len));
                 }
                 seg_count += 1;
                 byte_count += rec.len as u32;
@@ -166,7 +163,11 @@ pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> 
                 q.tail_pkt
             ));
         }
-        let expected_complete = if q.open { q.pkts.saturating_sub(1) } else { q.pkts };
+        let expected_complete = if q.open {
+            q.pkts.saturating_sub(1)
+        } else {
+            q.pkts
+        };
         if q.complete_pkts != expected_complete {
             return violation(format!(
                 "{flow}: complete_pkts {} != expected {expected_complete}",

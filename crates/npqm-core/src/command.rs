@@ -256,7 +256,11 @@ mod tests {
         let f = FlowId::new(0);
         assert_eq!(Command::Dequeue { flow: f }.name(), "Dequeue");
         assert_eq!(
-            Command::OverwriteLen { flow: f, new_len: 1 }.name(),
+            Command::OverwriteLen {
+                flow: f,
+                new_len: 1
+            }
+            .name(),
             "Overwrite_Segment_length"
         );
         assert_eq!(
@@ -284,7 +288,11 @@ mod tests {
         assert!(Command::Read { flow: f }.touches_data_memory());
         assert!(!Command::DeleteSegment { flow: f }.touches_data_memory());
         assert!(!Command::Move { src: f, dst: f }.touches_data_memory());
-        assert!(!Command::OverwriteLen { flow: f, new_len: 5 }.touches_data_memory());
+        assert!(!Command::OverwriteLen {
+            flow: f,
+            new_len: 5
+        }
+        .touches_data_memory());
     }
 
     #[test]
@@ -315,13 +323,7 @@ mod tests {
         let out = m.execute(Command::Dequeue { flow: b }).unwrap();
         assert!(matches!(out, Outcome::Segment(ref s) if s.data == vec![9; 64]));
         let dropped = m.execute(Command::DeleteSegment { flow: b }).unwrap();
-        assert_eq!(
-            dropped,
-            Outcome::Dropped {
-                segs: 1,
-                bytes: 32
-            }
-        );
+        assert_eq!(dropped, Outcome::Dropped { segs: 1, bytes: 32 });
         m.verify().unwrap();
     }
 

@@ -69,11 +69,17 @@ impl fmt::Display for QueueError {
                 if *expected_start {
                     write!(f, "mid-packet segment on {flow} but no packet is open")
                 } else {
-                    write!(f, "start-of-packet segment on {flow} while a packet is open")
+                    write!(
+                        f,
+                        "start-of-packet segment on {flow} while a packet is open"
+                    )
                 }
             }
             QueueError::SegmentOverflow { len, segment_bytes } => {
-                write!(f, "payload of {len} bytes exceeds segment size {segment_bytes}")
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds segment size {segment_bytes}"
+                )
             }
             QueueError::EmptyPayload => write!(f, "payload must not be empty"),
             QueueError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),

@@ -158,12 +158,7 @@ impl BufferManager {
     /// # Errors
     ///
     /// The [`DropReason`] that would apply.
-    pub fn admit(
-        &self,
-        qm: &QueueManager,
-        flow: FlowId,
-        len: usize,
-    ) -> Result<(), DropReason> {
+    pub fn admit(&self, qm: &QueueManager, flow: FlowId, len: usize) -> Result<(), DropReason> {
         let limits = self.limits_for(flow);
         if qm.queue_len_bytes(flow) + len as u64 > limits.max_bytes {
             return Err(DropReason::FlowBytes);
@@ -331,7 +326,10 @@ mod tests {
 
     #[test]
     fn drop_reason_display() {
-        assert_eq!(DropReason::FlowBytes.to_string(), "per-flow byte cap reached");
+        assert_eq!(
+            DropReason::FlowBytes.to_string(),
+            "per-flow byte cap reached"
+        );
         assert_eq!(
             DropReason::GlobalReserve.to_string(),
             "shared buffer below reserve"

@@ -931,7 +931,9 @@ impl QueueManager {
     /// # Errors
     ///
     /// Returns the first violated invariant.
-    pub fn verify(&self) -> Result<crate::check::InvariantReport, crate::check::InvariantViolation> {
+    pub fn verify(
+        &self,
+    ) -> Result<crate::check::InvariantReport, crate::check::InvariantViolation> {
         crate::check::verify(self)
     }
 }

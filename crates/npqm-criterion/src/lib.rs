@@ -1,0 +1,319 @@
+//! # npqm-criterion — an offline stand-in for `criterion`
+//!
+//! This workspace builds with **no network access**, so it cannot depend on
+//! the real [criterion](https://crates.io/crates/criterion) crate. This
+//! crate implements the API subset the `npqm-bench` benches use —
+//! [`Criterion`] with `benchmark_group`/`bench_function`, [`Bencher::iter`]
+//! and [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a plain
+//! [`std::time::Instant`] harness.
+//!
+//! It is wired in through a renamed path dependency
+//! (`criterion = { path = "../npqm-criterion", package = "npqm-criterion" }`),
+//! so the bench files read as ordinary criterion code and can switch to the
+//! real crate without edits once a vendored copy is available.
+//!
+//! Reporting is intentionally simple: per benchmark it prints the median
+//! per-iteration time across `sample_size` samples, plus the derived
+//! element/byte rate when a [`Throughput`] was set. There are no HTML
+//! reports, statistical regressions, or outlier analysis.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Work performed per iteration, used to derive a rate from the median time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How batched inputs are grouped; accepted for API compatibility.
+///
+/// The harness times each routine call individually, so the variants only
+/// affect the real criterion and are interchangeable here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver: holds timing policy, runs benchmarks.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 25,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up period run before any sample is recorded.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many timing samples are collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let policy = self.clone();
+        run_one(&policy, &id.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a [`Throughput`] annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with per-iteration work.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let policy = self.criterion.clone();
+        let median = run_one(&policy, &label, f);
+        if let (Some(t), Some(per_iter)) = (self.throughput, median) {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Elements(n) => {
+                        println!("    thrpt: {:.3} Melem/s", n as f64 / secs / 1e6);
+                    }
+                    Throughput::Bytes(n) => {
+                        println!(
+                            "    thrpt: {:.3} MiB/s",
+                            n as f64 / secs / (1024.0 * 1024.0)
+                        );
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Ends the group (all results were already printed).
+    pub fn finish(self) {}
+}
+
+/// Times a routine; handed to the closure of `bench_function`.
+pub struct Bencher<'a> {
+    policy: &'a Criterion,
+    /// Median per-iteration time, filled in by `iter`/`iter_batched`.
+    median: Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` called in a loop (criterion's `Bencher::iter`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many calls fit in one sample.
+        let warm_deadline = Instant::now() + self.policy.warm_up;
+        let mut warm_calls: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+            warm_calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls.max(1) as f64;
+
+        let samples = self.policy.sample_size;
+        let budget = self.policy.measurement.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_call.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            times.push(start.elapsed() / iters_per_sample as u32);
+        }
+        self.median = Some(median(&mut times));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up doubles as calibration: a sub-microsecond routine needs
+        // many calls per sample or the measurement is mostly Instant
+        // overhead and clock granularity.
+        let warm_deadline = Instant::now() + self.policy.warm_up;
+        let mut warm_calls: u64 = 0;
+        let mut routine_time = Duration::ZERO;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            routine_time += start.elapsed();
+            warm_calls += 1;
+        }
+        let per_call = routine_time.as_secs_f64() / warm_calls.max(1) as f64;
+
+        let samples = self.policy.sample_size;
+        let budget = self.policy.measurement.as_secs_f64();
+        let batch = ((budget / samples as f64 / per_call.max(1e-9)) as u64).clamp(1, 1 << 16);
+
+        let mut times = Vec::with_capacity(samples);
+        let mut inputs = Vec::with_capacity(batch as usize);
+        for _ in 0..samples {
+            inputs.clear();
+            inputs.extend((0..batch).map(|_| setup()));
+            let start = Instant::now();
+            for input in inputs.drain(..) {
+                std::hint::black_box(routine(input));
+            }
+            times.push(start.elapsed() / batch as u32);
+        }
+        self.median = Some(median(&mut times));
+    }
+}
+
+fn median(times: &mut [Duration]) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(policy: &Criterion, label: &str, f: F) -> Option<Duration> {
+    let mut b = Bencher {
+        policy,
+        median: None,
+    };
+    f(&mut b);
+    match b.median {
+        Some(m) => {
+            println!("{label:<60} {:>12.1} ns/iter", m.as_secs_f64() * 1e9);
+            Some(m)
+        }
+        None => {
+            println!("{label:<60} (no measurement: bencher closure never called iter)");
+            None
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn iter_records_a_median() {
+        let mut c = fast();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = super::tests::fast();
+        targets = target_a
+    }
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("macro_target", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn macro_declared_group_runs() {
+        benches();
+    }
+}

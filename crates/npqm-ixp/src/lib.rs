@@ -32,7 +32,7 @@
 //! assert!((900.0..1000.0).contains(&kpps.get()));
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chip;
 pub mod memunit;

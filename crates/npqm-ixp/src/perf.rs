@@ -115,9 +115,14 @@ mod debug_print {
         for r in run_table2(8_000_000) {
             println!(
                 "queues {:5}: 1 engine {:>9}   6 engines {:>9}",
-                r.queues, r.one_engine.to_string(), r.six_engines.to_string()
+                r.queues,
+                r.one_engine.to_string(),
+                r.six_engines.to_string()
             );
         }
-        println!("1K-queue bandwidth: {}", claim_max_bandwidth_1k_queues(8_000_000));
+        println!(
+            "1K-queue bandwidth: {}",
+            claim_max_bandwidth_1k_queues(8_000_000)
+        );
     }
 }

@@ -55,8 +55,7 @@ impl ThreadedEngine {
     pub fn run_packets(&self, horizon: u64) -> u64 {
         let p = &self.profile;
         // Average blocking latency over the profile's references.
-        let total_refs =
-            (p.scratch_refs + p.sram_refs + p.sdram_refs).max(1) as u64;
+        let total_refs = (p.scratch_refs + p.sram_refs + p.sdram_refs).max(1) as u64;
         let (mut scratch, mut sram, mut sdram) =
             (MemUnit::scratch(), MemUnit::sram(), MemUnit::sdram());
         let compute_chunk = p.compute_cycles / (total_refs + 1);

@@ -32,7 +32,7 @@
 //! assert!(opt.loss() < naive.loss(), "reordering must win");
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod addrmap;
 pub mod ddr;

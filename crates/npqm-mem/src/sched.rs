@@ -23,8 +23,12 @@ pub const NUM_PORTS: usize = 4;
 pub trait Scheduler {
     /// Chooses which port's head access to issue at `slot`, or `None` for a
     /// no-op. `heads[p]` is the pending head access of port `p`.
-    fn select(&mut self, heads: &[Access; NUM_PORTS], banks: &BankTracker, slot: u64)
-        -> Option<usize>;
+    fn select(
+        &mut self,
+        heads: &[Access; NUM_PORTS],
+        banks: &BankTracker,
+        slot: u64,
+    ) -> Option<usize>;
 
     /// Notifies the policy that `access` from `port` was issued at `slot`.
     fn issued(&mut self, port: usize, access: Access, slot: u64);

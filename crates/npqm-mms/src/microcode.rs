@@ -287,8 +287,7 @@ mod tests {
     fn fused_commands_cost_less_than_their_parts() {
         // Fusing saves a decode + respond round-trip.
         let fused = execution_cycles(MmsCommand::OverwriteSegmentAndMove);
-        let parts =
-            execution_cycles(MmsCommand::Overwrite) + execution_cycles(MmsCommand::Move);
+        let parts = execution_cycles(MmsCommand::Overwrite) + execution_cycles(MmsCommand::Move);
         assert!(fused < parts, "fused {fused} parts {parts}");
     }
 

@@ -308,9 +308,10 @@ impl Mms {
             MmsCommand::OverwriteSegmentLength => {
                 self.engine.overwrite_head_len(p.flow, 60).is_ok()
             }
-            MmsCommand::OverwriteSegmentLengthAndMove => {
-                self.engine.overwrite_len_and_move(p.flow, p.dst, 60).is_ok()
-            }
+            MmsCommand::OverwriteSegmentLengthAndMove => self
+                .engine
+                .overwrite_len_and_move(p.flow, p.dst, 60)
+                .is_ok(),
             MmsCommand::OverwriteSegmentAndMove => self
                 .engine
                 .overwrite_and_move(p.flow, p.dst, &payload)

@@ -342,8 +342,7 @@ mod tests {
     fn totals_are_sums() {
         for row in run_table5(7) {
             assert!(
-                (row.total - (row.fifo_delay + row.execution_delay + row.data_delay)).abs()
-                    < 1e-9
+                (row.total - (row.fifo_delay + row.execution_delay + row.data_delay)).abs() < 1e-9
             );
         }
     }
@@ -382,4 +381,3 @@ mod debug_print {
         println!("saturation: {mpps} = {gbps}");
     }
 }
-

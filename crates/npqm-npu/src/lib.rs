@@ -36,7 +36,7 @@
 //! assert_eq!(qm.copy_cycles(CopyStrategy::LineTransaction), 24);
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod mac;
 pub mod plb;

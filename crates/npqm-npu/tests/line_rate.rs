@@ -49,7 +49,10 @@ fn single_beat_copies_collapse_at_200mbps() {
 #[test]
 fn line_transactions_hold_200mbps() {
     // 244 < 336: the §5.3 optimization makes 200 Mbps feasible.
-    assert_eq!(drop_fraction(200, CopyStrategy::LineTransaction, 5_000), 0.0);
+    assert_eq!(
+        drop_fraction(200, CopyStrategy::LineTransaction, 5_000),
+        0.0
+    );
 }
 
 #[test]

@@ -1,0 +1,496 @@
+//! # npqm-prop — an offline stand-in for `proptest`
+//!
+//! This workspace builds with **no network access**, so it cannot depend on
+//! the real [proptest](https://crates.io/crates/proptest) crate. This crate
+//! re-implements exactly the API subset the workspace's property tests use —
+//! `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! [`Strategy`] (ranges, tuples, `prop_map`), [`any`],
+//! [`collection::vec`], [`ProptestConfig`] and [`TestCaseError`] — on top of
+//! the deterministic [`npqm_sim::rng::Xoshiro256pp`] generator.
+//!
+//! It is wired in through a renamed path dependency
+//! (`proptest = { path = "../npqm-prop", package = "npqm-prop" }`), so the
+//! test files read as ordinary proptest code and can switch to the real
+//! crate without edits once a vendored copy is available.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs and the
+//!   deterministic per-test seed instead of a minimized counterexample.
+//! * **Deterministic seeding.** Each test function derives its seed from its
+//!   own name (FNV-1a), so failures reproduce exactly across runs; set
+//!   `NPQM_PROP_SEED` to explore a different stream.
+//! * Only the strategy combinators listed above exist.
+//!
+//! ```
+//! use npqm_prop::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(32))]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use npqm_sim::rng::Xoshiro256pp;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// How a property-test block runs: number of generated cases per test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each `#[test]` in the block executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed test case, carrying the rejection message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the current case with `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+///
+/// Object-safe: `prop_map` is `Self: Sized`, so `Box<dyn Strategy<Value = T>>`
+/// works (that is what [`prop_oneof!`] builds).
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty strategy range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end - self.start) as u64;
+                self.start + rng.next_below(span) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical "any value" strategy (proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut Xoshiro256pp) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Xoshiro256pp) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Xoshiro256pp) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+/// Strategy for any value of `T` — see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Uniform choice among boxed alternatives — built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds a union strategy; each alternative is drawn uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> V {
+        let i = rng.next_below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Collection strategies (proptest's `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, Xoshiro256pp};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Xoshiro256pp) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values, with length uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Builds the deterministic generator used by [`proptest!`] expansions.
+///
+/// Exists so macro-generated code needs no direct `npqm-sim` dependency in
+/// the calling crate.
+pub fn new_rng(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(seed)
+}
+
+/// FNV-1a hash of a test name; the per-test base seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    match std::env::var("NPQM_PROP_SEED") {
+        Ok(s) => {
+            // Mix through SplitMix64 so every override value — including
+            // 0 — yields a genuinely different stream, and reject garbage
+            // loudly rather than silently reusing the default seeds.
+            let parsed = s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("NPQM_PROP_SEED must be a u64, got {s:?}"));
+            h ^ npqm_sim::rng::SplitMix64::new(parsed).next_u64()
+        }
+        Err(_) => h,
+    }
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+///
+/// Expands to an early `return Err(TestCaseError)` — usable only inside a
+/// [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`, reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Uniform choice among strategy alternatives with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::OneOf::new(arms)
+    }};
+}
+
+/// Defines property tests: each `fn` runs `config.cases` random cases.
+///
+/// Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::new_rng(seed);
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    // The body may have consumed the inputs; regenerate the
+                    // failing case from the deterministic stream so passing
+                    // cases pay no formatting cost.
+                    let mut replay = $crate::new_rng(seed);
+                    let mut inputs = String::new();
+                    for _ in 0..=case {
+                        $(let $arg = $crate::Strategy::generate(&($strategy), &mut replay);)+
+                        inputs = format!("{:#?}", ($(&$arg,)+));
+                    }
+                    panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}\ninputs: {}",
+                        case + 1,
+                        config.cases,
+                        seed,
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use npqm_sim::rng::Xoshiro256pp;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![
+            (0u32..1).prop_map(|_| 'a'),
+            (0u32..1).prop_map(|_| 'b'),
+            (0u32..1).prop_map(|_| 'c'),
+        ];
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let strat = super::collection::vec(0u32..10, 2..5);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(super::seed_for("a::b"), super::seed_for("a::b"));
+        assert_ne!(super::seed_for("a::b"), super::seed_for("a::c"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro machinery itself: args bind, `?` works, asserts pass.
+        #[test]
+        fn macro_end_to_end(
+            xs in super::collection::vec((0u32..50, any::<bool>()), 1..20),
+            k in 1usize..4,
+        ) {
+            prop_assert!(!xs.is_empty());
+            let total: u32 = xs.iter().map(|(v, _)| *v).sum();
+            prop_assert!(total < 50 * 20);
+            let r: Result<(), TestCaseError> = Ok(());
+            r?;
+            prop_assert_eq!(k.min(3), k.min(3), "k {}", k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -30,7 +30,7 @@
 //! assert_eq!(clk.cycles_in(Picos::from_nanos(84 * 2)).as_u64(), 21);
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod fifo;

@@ -87,7 +87,10 @@ impl QosSwitch {
         let class = frame.vlan.map_or(0, |t| t.pcp as u32);
         match self.mac_table.get(&frame.dst) {
             Some(&out) if out != in_port => {
-                match self.engine.enqueue_packet(self.flow(out, class), frame_bytes) {
+                match self
+                    .engine
+                    .enqueue_packet(self.flow(out, class), frame_bytes)
+                {
                     Ok(()) => self.forwarded += 1,
                     Err(QueueError::OutOfSegments) => self.dropped += 1,
                     Err(e) => return Err(e),
@@ -100,7 +103,10 @@ impl QosSwitch {
                     if out == in_port {
                         continue;
                     }
-                    match self.engine.enqueue_packet(self.flow(out, class), frame_bytes) {
+                    match self
+                        .engine
+                        .enqueue_packet(self.flow(out, class), frame_bytes)
+                    {
                         Ok(()) => {}
                         Err(QueueError::OutOfSegments) => {
                             self.dropped += 1;

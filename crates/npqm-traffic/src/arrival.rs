@@ -51,8 +51,7 @@ impl ArrivalProcess {
                 mean_burst,
                 mean_off,
             } => {
-                let cycle =
-                    mean_burst * on_interval.as_u64() as f64 + mean_off.as_u64() as f64;
+                let cycle = mean_burst * on_interval.as_u64() as f64 + mean_off.as_u64() as f64;
                 mean_burst * 1e12 / cycle
             }
         }

@@ -34,7 +34,7 @@
 //! assert_eq!(parsed.vlan.unwrap().pcp, 5); // the 802.1p priority
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apps;
 pub mod arrival;

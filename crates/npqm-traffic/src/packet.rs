@@ -502,9 +502,6 @@ mod tests {
     fn codec_error_display() {
         assert_eq!(CodecError::Truncated.to_string(), "buffer too short");
         assert_eq!(CodecError::BadChecksum.to_string(), "checksum mismatch");
-        assert_eq!(
-            CodecError::BadField("x").to_string(),
-            "invalid field: x"
-        );
+        assert_eq!(CodecError::BadField("x").to_string(), "invalid field: x");
     }
 }

@@ -88,7 +88,11 @@ mod tests {
         let small = counts[&64] as f64 / n as f64;
         assert!((small - 7.0 / 12.0).abs() < 0.02, "small {small}");
         let mean = sum as f64 / n as f64;
-        assert!((mean - d.mean()).abs() < 10.0, "mean {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 10.0,
+            "mean {mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ip = Ipv4Packet::parse(bytes)?;
         println!(
             "{name}: reassembled IP packet from {}.{}.{}.{} ({} bytes, checksum OK)",
-            ip.src[0], ip.src[1], ip.src[2], ip.src[3],
+            ip.src[0],
+            ip.src[1],
+            ip.src[2],
+            ip.src[3],
             bytes.len()
         );
     }

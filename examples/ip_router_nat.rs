@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let hop = router.route(&translated)?;
         println!(
             "routed {}.{}.{}.{} -> next hop {hop} (src rewritten to {}.{}.{}.{})",
-            parsed.dst[0], parsed.dst[1], parsed.dst[2], parsed.dst[3],
-            parsed.src[0], parsed.src[1], parsed.src[2], parsed.src[3],
+            parsed.dst[0],
+            parsed.dst[1],
+            parsed.dst[2],
+            parsed.dst[3],
+            parsed.src[0],
+            parsed.src[1],
+            parsed.src[2],
+            parsed.src[3],
         );
     }
 

@@ -11,7 +11,10 @@ fn main() {
     let slots = 100_000;
 
     println!("DDR throughput loss vs banks (random banks, turnaround modeled)");
-    println!("{:>6} {:>12} {:>12} {:>12}", "banks", "naive", "reorder", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "banks", "naive", "reorder", "speedup"
+    );
     for banks in [1u32, 2, 4, 8, 12, 16, 32] {
         let cfg = DdrConfig::paper(banks);
         let naive = run_schedule(
@@ -44,15 +47,18 @@ fn main() {
 
     println!("\naccess-pattern sensitivity (8 banks, reordering):");
     let patterns: [(&str, Box<dyn FnMut() -> _>); 3] = [
-        ("random", Box::new(|| {
-            run_schedule(&cfg, Reordering::new(), RandomBanks::new(8, 3), slots)
-        })),
-        ("sequential", Box::new(|| {
-            run_schedule(&cfg, Reordering::new(), SequentialBanks::new(8, 4), slots)
-        })),
-        ("hot bank (70%)", Box::new(|| {
-            run_schedule(&cfg, Reordering::new(), HotBank::new(8, 0.7, 3), slots)
-        })),
+        (
+            "random",
+            Box::new(|| run_schedule(&cfg, Reordering::new(), RandomBanks::new(8, 3), slots)),
+        ),
+        (
+            "sequential",
+            Box::new(|| run_schedule(&cfg, Reordering::new(), SequentialBanks::new(8, 4), slots)),
+        ),
+        (
+            "hot bank (70%)",
+            Box::new(|| run_schedule(&cfg, Reordering::new(), HotBank::new(8, 0.7, 3), slots)),
+        ),
     ];
     for (name, mut run) in patterns {
         let r = run();

@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use npqm::core::{QmConfig, QueueManager, FlowId};
+use npqm::core::{FlowId, QmConfig, QueueManager};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An engine sized like the paper's MMS workloads, scaled down: 64-byte

@@ -36,7 +36,7 @@
 //! `npqm-bench` crate for the binaries that regenerate every table of the
 //! paper.
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use npqm_core as core;
 pub use npqm_ixp as ixp;

@@ -26,7 +26,12 @@ fn ddr_peak_is_12_8_gbps() {
 #[test]
 fn c_reordering_halves_loss_at_8_banks() {
     let cfg = DdrConfig::paper(8);
-    let naive = run_schedule(&cfg, NaiveRoundRobin::new(), RandomBanks::new(8, 5), 100_000);
+    let naive = run_schedule(
+        &cfg,
+        NaiveRoundRobin::new(),
+        RandomBanks::new(8, 5),
+        100_000,
+    );
     let opt = run_schedule(&cfg, Reordering::new(), RandomBanks::new(8, 5), 100_000);
     assert!(
         opt.loss() <= 0.6 * naive.loss(),

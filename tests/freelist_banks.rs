@@ -27,9 +27,7 @@ fn allocation_stream(discipline: FreeListDiscipline, ops: usize) -> Vec<u32> {
     let mut stream = Vec::with_capacity(ops);
     for i in 0..ops {
         let flow = FlowId::new((i % 4) as u32);
-        let seg = qm
-            .enqueue(flow, &[0u8; 64], SegmentPosition::Only)
-            .unwrap();
+        let seg = qm.enqueue(flow, &[0u8; 64], SegmentPosition::Only).unwrap();
         stream.push(seg.index());
         qm.dequeue(flow).unwrap(); // light load: queue drains immediately
     }

@@ -2,7 +2,9 @@
 //! driven by generated traffic.
 
 use npqm::core::limits::{BufferManager, FlowLimits};
-use npqm::core::sched::{drain_next, DeficitRoundRobin, FlowScheduler, StrictPriority, WeightedRoundRobin};
+use npqm::core::sched::{
+    drain_next, DeficitRoundRobin, FlowScheduler, StrictPriority, WeightedRoundRobin,
+};
 use npqm::core::{FlowId, QmConfig, QueueManager};
 use npqm::sim::rng::Xoshiro256pp;
 use npqm::traffic::size::SizeDistribution;

@@ -1,0 +1,85 @@
+//! Facade smoke test: one end-to-end path per crate, reached exclusively
+//! through the `npqm` re-exports, so a regression in the workspace wiring
+//! (lost re-export, renamed module, broken path dependency) fails here
+//! before anything subtler does.
+
+use npqm::core::{FlowId, QmConfig, QueueManager};
+use npqm::ixp::chip::IxpChip;
+use npqm::mem::ddr::DdrConfig;
+use npqm::mem::pattern::RandomBanks;
+use npqm::mem::sched::{run_schedule, NaiveRoundRobin};
+use npqm::mms::mms::{Mms, MmsConfig};
+use npqm::mms::scheduler::Port;
+use npqm::mms::MmsCommand;
+use npqm::npu::swqm::{CopyStrategy, SwQueueManager};
+use npqm::sim::rng::Xoshiro256pp;
+use npqm::sim::time::{Cycle, Freq, Picos};
+use npqm::traffic::packet::{EthernetFrame, MacAddr};
+
+#[test]
+fn core_enqueue_dequeue_roundtrip() {
+    let mut qm = QueueManager::new(QmConfig::small());
+    let flow = FlowId::new(3);
+    let pkt: Vec<u8> = (0..150).map(|i| i as u8).collect();
+    qm.enqueue_packet(flow, &pkt).unwrap();
+    assert_eq!(qm.dequeue_packet(flow).unwrap(), pkt);
+    qm.verify().unwrap();
+}
+
+#[test]
+fn mem_ddr_schedule_accounts_every_slot() {
+    let cfg = DdrConfig::paper(8);
+    let result = run_schedule(&cfg, NaiveRoundRobin::new(), RandomBanks::new(8, 7), 5_000);
+    assert_eq!(
+        result.useful_slots + result.conflict_slots + result.turnaround_slots,
+        result.total_slots
+    );
+    assert!((0.0..=1.0).contains(&result.loss()));
+}
+
+#[test]
+fn mms_executes_one_command() {
+    let mut mms = Mms::new(MmsConfig::paper());
+    assert!(mms.submit(Cycle::ZERO, Port::In, MmsCommand::Enqueue, FlowId::new(5)));
+    mms.run(Cycle::ZERO, 64);
+    assert_eq!(mms.stats().served.get(), 1);
+    assert_eq!(mms.engine().queue_len_segments(FlowId::new(5)), 1);
+    mms.engine().verify().unwrap();
+}
+
+#[test]
+fn ixp_chip_reaches_table2_regime() {
+    // One engine, 16 queues: Table 2 row is 956 Kpps.
+    let kpps = IxpChip::new(1, 16).run_kpps(100_000);
+    assert!(
+        (900.0..1_000.0).contains(&kpps.get()),
+        "kpps {}",
+        kpps.get()
+    );
+}
+
+#[test]
+fn npu_table3_enqueue_cost() {
+    let qm = SwQueueManager::paper();
+    assert_eq!(qm.enqueue_cycles(true, CopyStrategy::SingleBeat), 216);
+}
+
+#[test]
+fn sim_clock_and_rng_are_deterministic() {
+    assert_eq!(Freq::from_mhz(125).cycle_time(), Picos::from_nanos(8));
+    let mut a = Xoshiro256pp::seed_from_u64(2005);
+    let mut b = Xoshiro256pp::seed_from_u64(2005);
+    assert_eq!(a.next_u64(), b.next_u64());
+}
+
+#[test]
+fn traffic_ethernet_codec_roundtrip() {
+    let frame = EthernetFrame {
+        dst: MacAddr([0, 1, 2, 3, 4, 5]),
+        src: MacAddr([6, 7, 8, 9, 10, 11]),
+        vlan: None,
+        ethertype: 0x0800,
+        payload: vec![0xAB; 46],
+    };
+    assert_eq!(EthernetFrame::parse(&frame.to_bytes()).unwrap(), frame);
+}
