@@ -31,4 +31,13 @@ tier1
 echo "==> cargo run --release -p npqm-bench --bin all_tables"
 cargo run --release -q -p npqm-bench --bin all_tables >/dev/null
 
+# Exercise the closed loop (traffic -> drop policy -> queues -> scheduler
+# -> egress) end to end, not just via unit tests: table6 asserts packet
+# conservation, zero torn packets and LQD >= tail-drop goodput.
+echo "==> cargo run --release -p npqm-bench --bin table6"
+cargo run --release -q -p npqm-bench --bin table6 >/dev/null
+
+echo "==> cargo run --release --example drop_policies"
+cargo run --release -q --example drop_policies >/dev/null
+
 echo "CI green."

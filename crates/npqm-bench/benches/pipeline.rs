@@ -1,0 +1,123 @@
+//! Criterion benches of the closed-loop pipeline hot path: source →
+//! drop policy → queue engine → DRR scheduler → egress server.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npqm_core::limits::{BufferManager, FlowLimits};
+use npqm_core::policy::{DropPolicy, DynamicThreshold, LongestQueueDrop};
+use npqm_core::sched::DeficitRoundRobin;
+use npqm_core::{FlowId, QmConfig, QueueManager};
+use npqm_sim::time::Picos;
+use npqm_traffic::arrival::ArrivalProcess;
+use npqm_traffic::flows::FlowMix;
+use npqm_traffic::pipeline::{run_pipeline, PipelineConfig};
+use npqm_traffic::size::SizeDistribution;
+use std::hint::black_box;
+
+/// ~50 µs of saturating traffic: every arrival exercises admission, most
+/// exercise the drop path, and the server is never idle.
+fn hot_config() -> PipelineConfig {
+    PipelineConfig {
+        qm: QmConfig::builder()
+            .num_flows(16)
+            .num_segments(256)
+            .segment_bytes(64)
+            .build()
+            .unwrap(),
+        arrivals: ArrivalProcess::Poisson {
+            mean_interval: Picos::from_nanos(50),
+        },
+        sizes: SizeDistribution::Fixed(64),
+        mix: FlowMix::uniform(16),
+        egress_gbps: 5.0,
+        duration: Picos::from_micros(50),
+        seed: 17,
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    let cfg = hot_config();
+    // ~1000 packets per iteration at 50 ns spacing over 50 µs.
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("closed_loop_lqd_drr_50us", |b| {
+        b.iter(|| {
+            let mut policy = LongestQueueDrop::new(0);
+            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+            black_box(run_pipeline(black_box(&cfg), &mut policy, &mut sched))
+        });
+    });
+    group.bench_function("closed_loop_taildrop_drr_50us", |b| {
+        b.iter(|| {
+            let mut policy = BufferManager::new(
+                FlowLimits {
+                    max_bytes: 1024,
+                    max_packets: u32::MAX,
+                },
+                0,
+            );
+            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+            black_box(run_pipeline(black_box(&cfg), &mut policy, &mut sched))
+        });
+    });
+    group.bench_function("closed_loop_dynthreshold_drr_50us", |b| {
+        b.iter(|| {
+            let mut policy = DynamicThreshold::new(2.0);
+            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+            black_box(run_pipeline(black_box(&cfg), &mut policy, &mut sched))
+        });
+    });
+    group.finish();
+}
+
+fn bench_policy_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decision");
+    group.throughput(Throughput::Elements(1));
+    // A full buffer, so every offer takes the slow (evict/refuse) path.
+    group.bench_function("lqd_offer_full_buffer", |b| {
+        let cfg = QmConfig::builder()
+            .num_flows(64)
+            .num_segments(512)
+            .segment_bytes(64)
+            .build()
+            .unwrap();
+        let mut qm = QueueManager::new(cfg);
+        let mut lqd = LongestQueueDrop::new(0);
+        for i in 0..512u32 {
+            lqd.offer(&mut qm, FlowId::new(i % 64), &[0u8; 64]).unwrap();
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(lqd.offer(&mut qm, FlowId::new(i), black_box(&[1u8; 64])))
+        });
+    });
+    group.bench_function("longest_queue_query", |b| {
+        let cfg = QmConfig::builder()
+            .num_flows(1024)
+            .num_segments(4096)
+            .segment_bytes(64)
+            .build()
+            .unwrap();
+        let mut qm = QueueManager::new(cfg);
+        for i in 0..1024u32 {
+            qm.enqueue_packet(FlowId::new(i), &vec![0u8; 1 + (i as usize % 200)])
+                .unwrap();
+        }
+        b.iter(|| black_box(qm.longest_queue()));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(25)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline, bench_policy_decision
+}
+criterion_main!(benches);

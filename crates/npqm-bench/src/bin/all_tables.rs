@@ -10,6 +10,7 @@ struct Summary {
     table3_line_transactions: npqm_npu::swqm::Table3,
     table4: Vec<(String, u64)>,
     table5: Vec<npqm_mms::perf::Table5Row>,
+    table6: Vec<Table6Out>,
     saturation_mpps: f64,
     saturation_gbps: f64,
 }
@@ -26,8 +27,33 @@ impl ToJson for Summary {
             ),
             ("table4", self.table4.to_json()),
             ("table5", self.table5.to_json()),
+            ("table6", self.table6.to_json()),
             ("saturation_mpps", self.saturation_mpps.to_json()),
             ("saturation_gbps", self.saturation_gbps.to_json()),
+        ])
+    }
+}
+
+struct Table6Out {
+    policy: String,
+    offered_pkts: u64,
+    delivered_pkts: u64,
+    dropped_pkts: u64,
+    evicted_pkts: u64,
+    goodput_gbps: f64,
+    mean_latency_ns: f64,
+}
+
+impl ToJson for Table6Out {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", self.policy.to_json()),
+            ("offered_pkts", self.offered_pkts.to_json()),
+            ("delivered_pkts", self.delivered_pkts.to_json()),
+            ("dropped_pkts", self.dropped_pkts.to_json()),
+            ("evicted_pkts", self.evicted_pkts.to_json()),
+            ("goodput_gbps", self.goodput_gbps.to_json()),
+            ("mean_latency_ns", self.mean_latency_ns.to_json()),
         ])
     }
 }
@@ -71,6 +97,21 @@ fn main() {
     eprintln!("running Table 5 (MMS load sweep)...");
     let table5 = npqm_mms::perf::run_table5(42);
     let (mpps, gbps) = npqm_mms::perf::saturation_throughput(42);
+    eprintln!("running Table 6 (drop policies, closed loop)...");
+    let table6 = npqm_traffic::pipeline::compare_policies(
+        &npqm_traffic::pipeline::PipelineConfig::bursty_overload(42),
+    )
+    .into_iter()
+    .map(|o| Table6Out {
+        policy: o.policy,
+        offered_pkts: o.report.offered_pkts,
+        delivered_pkts: o.report.delivered_pkts,
+        dropped_pkts: o.report.dropped_pkts,
+        evicted_pkts: o.report.evicted_pkts,
+        goodput_gbps: o.report.goodput_gbps(),
+        mean_latency_ns: o.report.latency_ns.mean(),
+    })
+    .collect();
 
     let summary = Summary {
         table1,
@@ -79,6 +120,7 @@ fn main() {
         table3_line_transactions: table3_line,
         table4,
         table5,
+        table6,
         saturation_mpps: mpps.get(),
         saturation_gbps: gbps.get(),
     };

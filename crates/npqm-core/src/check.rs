@@ -50,8 +50,12 @@ fn violation<T>(what: impl Into<String>) -> Result<T, InvariantViolation> {
 ///    terminated, acyclic) and its `segs`/`bytes` counters match the walk;
 /// 2. every queue's packet chain is well-formed and the queue's counters
 ///    (`pkts`, `complete_pkts`, `segs`, `bytes`) match;
-/// 3. an `open` queue has a tail packet, a non-open queue has
-///    `complete_pkts == pkts`;
+/// 3. an `open` queue has a tail packet, and that tail packet is the
+///    unfinished one: its EOP has not been recorded yet, while every
+///    non-tail packet in the chain is complete. A non-open queue holds
+///    only complete packets and has `complete_pkts == pkts`. (This is
+///    what catches a complete packet spliced *behind* an open tail — the
+///    torn-packet corruption the pre-fix `move_packet` could create.);
 /// 4. only a queue's head packet may be partially consumed (`started`);
 /// 5. no segment or packet record is referenced twice;
 /// 6. the free lists and the queues exactly partition both index spaces;
@@ -82,6 +86,21 @@ pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> 
             if pr.started && pid != q.head_pkt {
                 return violation(format!(
                     "{flow}: non-head packet {pid} is partially consumed"
+                ));
+            }
+            // Exactly the open queue's tail packet may lack its EOP; a
+            // complete packet at the open tail (or an unfinished packet
+            // anywhere else) means SAR traffic was interleaved with a
+            // structural operation and a packet is torn.
+            if q.open && pid == q.tail_pkt {
+                if pr.eop {
+                    return violation(format!(
+                        "{flow}: queue is open but its tail packet {pid} has its EOP recorded"
+                    ));
+                }
+            } else if !pr.eop {
+                return violation(format!(
+                    "{flow}: packet {pid} has no EOP recorded but is not the open tail"
                 ));
             }
             // Walk the segment chain of this packet.
@@ -275,6 +294,50 @@ mod tests {
         qm.enqueue(FlowId::new(0), &[1; 64], SegmentPosition::First)
             .unwrap();
         verify(&qm).unwrap();
+    }
+
+    /// Injects the exact corruption the pre-fix `move_packet` produced —
+    /// a complete packet spliced behind an open (mid-SAR) tail — and
+    /// confirms the checker now sees it. Before the EOP-tracking
+    /// invariant was added, `verify` passed on this state and the torn
+    /// packet was only observable once a wrong-sized frame was dequeued.
+    #[test]
+    fn checker_detects_complete_packet_behind_open_tail() {
+        let mut qm = QueueManager::new(QmConfig::small());
+        let a = FlowId::new(0);
+        let b = FlowId::new(1);
+        qm.enqueue(a, &[1; 64], SegmentPosition::First).unwrap();
+        qm.enqueue_packet(b, &[2u8; 64]).unwrap();
+        verify(&qm).unwrap();
+
+        // Replay the old buggy splice by hand: unlink b's complete packet
+        // and link it after a's open tail, with all counters "fixed up"
+        // the way the old code fixed them up.
+        let mut bq = qm.ptr.queue_silent(b);
+        let pid = bq.head_pkt;
+        let pr = qm.ptr.pkt_silent(pid);
+        bq.head_pkt = crate::id::PacketId::NIL;
+        bq.tail_pkt = crate::id::PacketId::NIL;
+        bq.pkts = 0;
+        bq.complete_pkts = 0;
+        bq.segs = 0;
+        bq.bytes = 0;
+        qm.ptr.set_queue(b, bq);
+
+        let mut aq = qm.ptr.queue_silent(a);
+        let tail = aq.tail_pkt;
+        let mut tail_pr = qm.ptr.pkt_silent(tail);
+        tail_pr.next_pkt = pid;
+        qm.ptr.set_pkt(tail, tail_pr);
+        aq.tail_pkt = pid;
+        aq.pkts += 1;
+        aq.complete_pkts += 1;
+        aq.segs += pr.segs;
+        aq.bytes += pr.bytes as u64;
+        qm.ptr.set_queue(a, aq);
+
+        let err = verify(&qm).unwrap_err();
+        assert!(err.what.contains("EOP"), "unexpected violation: {err}");
     }
 
     #[test]

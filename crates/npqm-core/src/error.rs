@@ -35,6 +35,13 @@ pub enum QueueError {
         /// What the engine expected.
         expected_start: bool,
     },
+    /// The head packet is partially consumed (mid-service, segments
+    /// already dequeued) and cannot be relocated behind other packets —
+    /// only a queue's head packet may be partially consumed.
+    PacketInService {
+        /// The flow whose head packet is mid-service.
+        flow: FlowId,
+    },
     /// The supplied payload exceeds the configured segment size.
     SegmentOverflow {
         /// Bytes supplied.
@@ -74,6 +81,12 @@ impl fmt::Display for QueueError {
                         "start-of-packet segment on {flow} while a packet is open"
                     )
                 }
+            }
+            QueueError::PacketInService { flow } => {
+                write!(
+                    f,
+                    "head packet of {flow} is partially consumed and cannot be re-queued"
+                )
             }
             QueueError::SegmentOverflow { len, segment_bytes } => {
                 write!(
@@ -122,6 +135,12 @@ mod tests {
                 "payload of 100 bytes exceeds segment size 64",
             ),
             (QueueError::EmptyPayload, "payload must not be empty"),
+            (
+                QueueError::PacketInService {
+                    flow: FlowId::new(4),
+                },
+                "head packet of flow:4 is partially consumed and cannot be re-queued",
+            ),
             (
                 QueueError::InvalidConfig {
                     what: "num_flows must be non-zero",

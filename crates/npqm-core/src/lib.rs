@@ -51,6 +51,7 @@ pub mod freelist;
 pub mod id;
 pub mod limits;
 pub mod manager;
+pub mod policy;
 pub mod pool;
 pub mod ptrmem;
 pub mod sar;
@@ -62,5 +63,6 @@ pub use config::QmConfig;
 pub use error::QueueError;
 pub use id::{FlowId, PacketId, SegmentId};
 pub use manager::{DequeuedSegment, QueueManager, SegmentPosition};
+pub use policy::{Admission, DropPolicy, DynamicThreshold, LongestQueueDrop, Refusal};
 pub use sar::{Reassembler, Segmenter};
 pub use stats::QmStats;

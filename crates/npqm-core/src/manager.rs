@@ -6,14 +6,35 @@
 //! segment / delete packet, append at the head or tail of a packet, move a
 //! packet to a new queue, overwrite the segment length, and the fused
 //! variants of Table 4.
+//!
+//! # Open-packet (mid-SAR) semantics
+//!
+//! While a flow's segmentation-and-reassembly is mid-packet (a `First`
+//! segment arrived but its `Last` has not), the queue is *open*: its tail
+//! packet is still growing and the next `Middle`/`Last` segment on that
+//! flow appends to it. Every operation has a defined behaviour against an
+//! open queue — getting this wrong silently tears packets, so the rules
+//! are enforced with [`QueueError::SarProtocol`] where an operation would
+//! interleave with the in-flight SAR:
+//!
+//! | operation | open-queue behaviour |
+//! |---|---|
+//! | [`enqueue`](QueueManager::enqueue) | `Middle`/`Last` extend the open tail; `First`/`Only` are a SAR-protocol error |
+//! | [`dequeue`](QueueManager::dequeue), [`delete_segment`](QueueManager::delete_segment) | serve only *complete* packets; the open tail is served solely under [cut-through](crate::QmConfig::cut_through), and never its final enqueued segment |
+//! | [`dequeue_packet`](QueueManager::dequeue_packet), [`delete_packet`](QueueManager::delete_packet) | operate on the head packet only when it is complete |
+//! | [`read_head`](QueueManager::read_head), [`overwrite_head`](QueueManager::overwrite_head), [`overwrite_head_len`](QueueManager::overwrite_head_len), [`append_head`](QueueManager::append_head) | touch the head packet's first segment, which exists even mid-SAR |
+//! | [`append_tail`](QueueManager::append_tail) | rejected while the tail is open: the trailer would splice into the middle of the unfinished frame |
+//! | [`move_packet`](QueueManager::move_packet) | the *destination* tail must not be open (including same-queue rotation past an open tail): the moved complete packet would be linked after the open one and the flow's next `Last` segment would extend the wrong packet. A partially-served (mid-service) head packet may only move to the head of an empty destination |
+//! | [`copy_packet`](QueueManager::copy_packet) | as `move_packet`: an open destination is rejected |
 
 use crate::config::QmConfig;
 use crate::error::QueueError;
 use crate::freelist::{PktFreeList, SegFreeList};
 use crate::id::{FlowId, PacketId, SegmentId};
 use crate::pool::SegmentPool;
-use crate::ptrmem::{PtrMem, SegRecord};
+use crate::ptrmem::{PtrMem, QueueRecord, SegRecord};
 use crate::stats::QmStats;
+use std::collections::BinaryHeap;
 
 /// Where a segment sits within its packet, from the SAR point of view.
 ///
@@ -66,6 +87,21 @@ pub struct DequeuedSegment {
     pub eop: bool,
 }
 
+/// Lazily-maintained max-heap over per-flow byte occupancy.
+///
+/// Every queue-table commit pushes the flow's fresh byte count; stale
+/// entries (whose recorded count no longer matches the queue table) are
+/// discarded when the maximum is queried. This gives
+/// [`QueueManager::longest_queue`] amortised `O(log flows)` cost instead
+/// of a linear scan per drop decision — the query buffer-management
+/// policies like Longest Queue Drop issue on every admission under
+/// pressure. The heap is rebuilt from the queue table whenever the stale
+/// backlog exceeds twice the flow count, bounding memory at `O(flows)`.
+#[derive(Debug, Clone, Default)]
+struct OccupancyIndex {
+    heap: BinaryHeap<(u64, u32)>,
+}
+
 /// Per-flow queue-management engine over segment-aligned memory.
 ///
 /// See the [crate-level documentation](crate) for an overview and the
@@ -78,6 +114,7 @@ pub struct QueueManager {
     pub(crate) seg_fl: SegFreeList,
     pub(crate) pkt_fl: PktFreeList,
     pub(crate) stats: QmStats,
+    occ: OccupancyIndex,
 }
 
 impl QueueManager {
@@ -102,7 +139,53 @@ impl QueueManager {
             seg_fl,
             pkt_fl,
             stats: QmStats::default(),
+            occ: OccupancyIndex::default(),
         }
+    }
+
+    /// Writes a queue record back and keeps the occupancy index current.
+    ///
+    /// All queue-table writes go through here so the index never misses a
+    /// byte-count change.
+    fn commit_queue(&mut self, flow: FlowId, q: QueueRecord) {
+        self.occ.heap.push((q.bytes, flow.index()));
+        self.ptr.set_queue(flow, q);
+        let cap = (self.cfg.num_flows() as usize).saturating_mul(2).max(64);
+        if self.occ.heap.len() > cap {
+            self.rebuild_occupancy();
+        }
+    }
+
+    /// Rebuilds the occupancy index from the queue table (stale-entry GC).
+    fn rebuild_occupancy(&mut self) {
+        self.occ.heap.clear();
+        for f in 0..self.cfg.num_flows() {
+            let flow = FlowId::new(f);
+            let bytes = self.ptr.queue_silent(flow).bytes;
+            if bytes > 0 {
+                self.occ.heap.push((bytes, f));
+            }
+        }
+    }
+
+    /// The non-empty flow holding the most payload bytes, with that count.
+    ///
+    /// Amortised `O(log flows)`: the occupancy index discards entries made
+    /// stale by enqueues/dequeues since the last query, instead of
+    /// scanning the whole queue table. Ties are broken toward the higher
+    /// flow index. Returns `None` when every queue is empty. The query
+    /// itself does not count as pointer-memory traffic (a hardware
+    /// implementation would keep this register alongside the queue table).
+    pub fn longest_queue(&mut self) -> Option<(FlowId, u64)> {
+        while let Some(&(bytes, idx)) = self.occ.heap.peek() {
+            let flow = FlowId::new(idx);
+            let current = self.ptr.queue_silent(flow).bytes;
+            if bytes == current && current > 0 {
+                return Some((flow, current));
+            }
+            self.occ.heap.pop();
+        }
+        None
     }
 
     /// The engine's configuration.
@@ -233,6 +316,7 @@ impl QueueManager {
             pr.segs = 1;
             pr.bytes = len as u32;
             pr.started = false;
+            pr.eop = pos.is_last();
             self.ptr.set_pkt(pid, pr);
             if q.tail_pkt.is_nil() {
                 q.head_pkt = pid;
@@ -258,6 +342,7 @@ impl QueueManager {
             pr.last = seg;
             pr.segs += 1;
             pr.bytes += len as u32;
+            pr.eop = pos.is_last();
             self.ptr.set_pkt(pid, pr);
             if pos.is_last() {
                 q.open = false;
@@ -266,7 +351,7 @@ impl QueueManager {
         }
         q.segs += 1;
         q.bytes += len as u64;
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.stats.enqueues += 1;
         self.stats.bytes_in += len as u64;
         Ok(seg)
@@ -334,7 +419,7 @@ impl QueueManager {
         q.segs -= pr.segs;
         q.bytes -= pr.bytes as u64;
         q.open = false;
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.pkt_fl.release(&mut self.ptr, pid);
     }
 
@@ -399,7 +484,7 @@ impl QueueManager {
             pr.started = true;
             self.ptr.set_pkt(pid, pr);
         }
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.stats.dequeues += 1;
         self.stats.bytes_out += rec.len as u64;
         Ok(DequeuedSegment {
@@ -484,7 +569,7 @@ impl QueueManager {
         pr.bytes = pr.bytes - old as u32 + len as u32;
         self.ptr.set_pkt(pid, pr);
         q.bytes = q.bytes - old as u64 + len as u64;
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.stats.overwrites += 1;
         Ok(())
     }
@@ -524,7 +609,7 @@ impl QueueManager {
         pr.bytes = pr.bytes - old as u32 + new_len as u32;
         self.ptr.set_pkt(pid, pr);
         q.bytes = q.bytes - old as u64 + new_len as u64;
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.stats.len_overwrites += 1;
         Ok(())
     }
@@ -576,7 +661,7 @@ impl QueueManager {
             pr.started = true;
             self.ptr.set_pkt(pid, pr);
         }
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.stats.seg_deletes += 1;
         Ok(rec.len)
     }
@@ -614,7 +699,7 @@ impl QueueManager {
         q.complete_pkts -= 1;
         q.segs -= pr.segs;
         q.bytes -= pr.bytes as u64;
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.pkt_fl.release(&mut self.ptr, pid);
         self.stats.pkt_deletes += 1;
         Ok((pr.segs, pr.bytes))
@@ -663,7 +748,7 @@ impl QueueManager {
         self.ptr.set_pkt(pid, pr);
         q.segs += 1;
         q.bytes += len as u64;
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.stats.head_appends += 1;
         Ok(seg)
     }
@@ -671,12 +756,16 @@ impl QueueManager {
     /// Appends a segment to the tail packet ("Append a segment at the …
     /// tail of a packet") — e.g. adding a trailer. Unlike
     /// [`QueueManager::enqueue`] this works on an already-complete packet
-    /// and does not change its completeness.
+    /// and does not change its completeness; while the tail packet is
+    /// still open (mid-SAR) the call is rejected, because the "trailer"
+    /// would end up spliced into the middle of the unfinished frame once
+    /// its remaining segments arrive.
     ///
     /// # Errors
     ///
     /// [`QueueError::QueueEmpty`], [`QueueError::UnknownFlow`], payload
-    /// errors, or [`QueueError::OutOfSegments`].
+    /// errors, [`QueueError::OutOfSegments`], or
+    /// [`QueueError::SarProtocol`] when the tail packet is still open.
     pub fn append_tail(&mut self, flow: FlowId, data: &[u8]) -> Result<SegmentId, QueueError> {
         if let Err(e) = self.check_flow(flow) {
             return self.fail(e);
@@ -688,6 +777,12 @@ impl QueueManager {
         let mut q = self.ptr.queue(flow);
         if q.tail_pkt.is_nil() {
             return self.fail(QueueError::QueueEmpty { flow });
+        }
+        if q.open {
+            return self.fail(QueueError::SarProtocol {
+                flow,
+                expected_start: false,
+            });
         }
         let seg = match self.seg_fl.alloc(&mut self.ptr) {
             Ok(s) => s,
@@ -712,7 +807,7 @@ impl QueueManager {
         self.ptr.set_pkt(pid, pr);
         q.segs += 1;
         q.bytes += len as u64;
-        self.ptr.set_queue(flow, q);
+        self.commit_queue(flow, q);
         self.stats.tail_appends += 1;
         Ok(seg)
     }
@@ -724,9 +819,23 @@ impl QueueManager {
     ///
     /// Moving within the same queue rotates the head packet to the tail.
     ///
+    /// The destination's tail packet must not be open (mid-SAR) — this
+    /// includes rotating within a queue whose own tail is open. Linking a
+    /// complete packet after an open one would make the flow's next
+    /// `Last` segment extend the wrong packet, and a torn packet would
+    /// later be dequeued as if complete.
+    ///
+    /// Similarly, a head packet that is already partially consumed
+    /// (segments dequeued, mid-service) may only move to the *head* of an
+    /// empty destination: re-queueing it behind other packets would later
+    /// serve its remainder as if it were a whole frame.
+    ///
     /// # Errors
     ///
     /// [`QueueError::QueueEmpty`] when `src` has no complete packet;
+    /// [`QueueError::SarProtocol`] when `dst`'s tail packet is open;
+    /// [`QueueError::PacketInService`] when the moved packet is partially
+    /// consumed and would not land at the destination's head;
     /// [`QueueError::UnknownFlow`] for either flow.
     pub fn move_packet(&mut self, src: FlowId, dst: FlowId) -> Result<(), QueueError> {
         if let Err(e) = self.check_flow(src) {
@@ -739,12 +848,30 @@ impl QueueManager {
         if sq.head_pkt.is_nil() || (sq.open && sq.head_pkt == sq.tail_pkt) {
             return self.fail(QueueError::QueueEmpty { flow: src });
         }
+        let dq0 = if src == dst {
+            None
+        } else {
+            Some(self.ptr.queue(dst))
+        };
+        if dq0.map_or(sq.open, |q| q.open) {
+            return self.fail(QueueError::SarProtocol {
+                flow: dst,
+                expected_start: false,
+            });
+        }
         if src == dst && sq.pkts == 1 {
             self.stats.moves += 1;
             return Ok(()); // rotating a single packet is a no-op
         }
         let pid = sq.head_pkt;
         let mut pr = self.ptr.pkt(pid);
+        // A mid-service packet may not land behind other packets: only a
+        // queue's head may be partially consumed. (Same-queue rotation
+        // with pkts > 1 always lands behind another packet.)
+        let lands_at_head = dq0.is_some_and(|q| q.tail_pkt.is_nil());
+        if pr.started && !lands_at_head {
+            return self.fail(QueueError::PacketInService { flow: src });
+        }
 
         // Unlink from src.
         sq.head_pkt = pr.next_pkt;
@@ -758,7 +885,7 @@ impl QueueManager {
         pr.next_pkt = PacketId::NIL;
 
         // Link to dst (which may be the same queue record).
-        let mut dq = if src == dst { sq } else { self.ptr.queue(dst) };
+        let mut dq = dq0.unwrap_or(sq);
         if dq.tail_pkt.is_nil() {
             dq.head_pkt = pid;
         } else {
@@ -774,10 +901,10 @@ impl QueueManager {
         dq.bytes += pr.bytes as u64;
         self.ptr.set_pkt(pid, pr);
         if src == dst {
-            self.ptr.set_queue(src, dq);
+            self.commit_queue(src, dq);
         } else {
-            self.ptr.set_queue(src, sq);
-            self.ptr.set_queue(dst, dq);
+            self.commit_queue(src, sq);
+            self.commit_queue(dst, dq);
         }
         self.stats.moves += 1;
         Ok(())
@@ -1365,6 +1492,49 @@ mod tests {
             m.copy_packet(a, b),
             Err(QueueError::SarProtocol { .. })
         ));
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn longest_queue_tracks_occupancy() {
+        let mut m = qm();
+        assert_eq!(m.longest_queue(), None, "fresh engine has no backlog");
+        m.enqueue_packet(FlowId::new(1), &[1u8; 100]).unwrap();
+        m.enqueue_packet(FlowId::new(2), &[2u8; 300]).unwrap();
+        m.enqueue_packet(FlowId::new(3), &[3u8; 200]).unwrap();
+        assert_eq!(m.longest_queue(), Some((FlowId::new(2), 300)));
+        // Drain the leader: the maximum must follow the queue table.
+        m.dequeue_packet(FlowId::new(2)).unwrap();
+        assert_eq!(m.longest_queue(), Some((FlowId::new(3), 200)));
+        m.dequeue_packet(FlowId::new(3)).unwrap();
+        m.dequeue_packet(FlowId::new(1)).unwrap();
+        assert_eq!(m.longest_queue(), None);
+    }
+
+    #[test]
+    fn longest_queue_matches_scan_under_churn() {
+        // Many operations between queries, so the lazy index must discard
+        // plenty of stale entries (and survive its periodic rebuild).
+        let mut m = qm();
+        let mut step = 0u64;
+        for round in 0..50u32 {
+            for i in 0..16u32 {
+                let f = FlowId::new(i);
+                step += 1;
+                if step.is_multiple_of(3) {
+                    let _ = m.dequeue_packet(f);
+                } else {
+                    let len = 1 + ((step * 37) % 180) as usize;
+                    let _ = m.enqueue_packet(f, &vec![i as u8; len]);
+                }
+            }
+            let expect = (0..m.config().num_flows())
+                .map(|i| (m.queue_len_bytes(FlowId::new(i)), i))
+                .max()
+                .filter(|&(bytes, _)| bytes > 0)
+                .map(|(bytes, i)| (FlowId::new(i), bytes));
+            assert_eq!(m.longest_queue(), expect, "round {round}");
+        }
         m.verify().unwrap();
     }
 

@@ -1,0 +1,545 @@
+//! Pluggable buffer-management (drop) policies over a [`QueueManager`].
+//!
+//! The paper lists "buffer and traffic management" among the wire-speed
+//! functions per-flow queuing exists for (§1); the related work the
+//! roadmap tracks studies *which* policy wins when a shared buffer comes
+//! under pressure — Matsakis proves Longest Queue Drop is 1.5-competitive
+//! for shared-memory switches, Kogan et al. study FIFO admission for
+//! heterogeneous processing. This module defines the common [`DropPolicy`]
+//! interface those policies plug into and ships three disciplines:
+//!
+//! * **tail drop** — the static per-flow caps of
+//!   [`BufferManager`] (the PR-1 baseline),
+//!   adapted to the trait;
+//! * **[`LongestQueueDrop`]** — push-out from the longest queue when the
+//!   shared buffer is exhausted, using the engine's amortised
+//!   [`QueueManager::longest_queue`] query;
+//! * **[`DynamicThreshold`]** — Choudhury–Hahne dynamic thresholds: a
+//!   flow may occupy at most `alpha ×` the *unused* buffer space, so
+//!   thresholds tighten automatically as the buffer fills.
+//!
+//! Policies compose with (rather than modify) the engine, exactly like
+//! the tail-drop policer in [`crate::limits`]: they read occupancy
+//! through the public API, veto or perform enqueues, and may evict
+//! already-queued packets (push-out). The closed-loop simulation pipeline
+//! in `npqm-traffic` drives any `DropPolicy` against any
+//! [`FlowScheduler`](crate::sched::FlowScheduler).
+
+use crate::id::FlowId;
+use crate::limits::{BufferManager, DropReason};
+use crate::manager::QueueManager;
+
+/// Outcome of a successful [`DropPolicy::offer`].
+///
+/// Admission may have required pushing already-queued packets out of
+/// other (or the same) flow's queue; the caller needs the victims to keep
+/// its own per-packet bookkeeping (e.g. latency ledgers) consistent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Admission {
+    /// Head packets evicted to make room, as `(victim flow, payload
+    /// bytes)` in eviction order. Empty for policies that only ever drop
+    /// the arriving packet.
+    pub evicted: Vec<(FlowId, u32)>,
+}
+
+/// Outcome of a refused [`DropPolicy::offer`].
+///
+/// Carries not only the [`DropReason`] but also any packets a push-out
+/// policy already evicted before discovering the arrival still cannot be
+/// admitted (e.g. the remaining occupancy is all mid-SAR open packets).
+/// Those victims are gone from the buffer either way, so a caller with
+/// per-packet bookkeeping must process them exactly as it would the
+/// evictions of a successful [`Admission`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refusal {
+    /// Why the arriving packet was refused.
+    pub reason: DropReason,
+    /// Head packets evicted before the refusal, as `(victim flow,
+    /// payload bytes)` in eviction order.
+    pub evicted: Vec<(FlowId, u32)>,
+}
+
+impl From<DropReason> for Refusal {
+    /// A plain refusal with no collateral evictions.
+    fn from(reason: DropReason) -> Self {
+        Refusal {
+            reason,
+            evicted: Vec::new(),
+        }
+    }
+}
+
+/// A buffer-management policy deciding the fate of each arriving packet.
+///
+/// Implementations either enqueue the packet on `flow` (possibly evicting
+/// queued packets first) or refuse it with a [`Refusal`]. An
+/// implementation must never leave a partially-enqueued packet behind:
+/// [`QueueManager::enqueue_packet`] already rolls back on mid-packet
+/// exhaustion.
+pub trait DropPolicy {
+    /// A short stable name for reports ("tail-drop", "lqd", ...).
+    fn name(&self) -> &str;
+
+    /// Offers one whole packet for admission on `flow`.
+    ///
+    /// # Errors
+    ///
+    /// The [`Refusal`] that applied; the arriving packet is NOT queued in
+    /// that case. Push-out policies report any packets they evicted
+    /// before hitting the refusal in [`Refusal::evicted`].
+    fn offer(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal>;
+}
+
+/// The PR-1 tail-drop policer as a [`DropPolicy`]: static per-flow caps
+/// plus a global reserve, never evicting queued data.
+impl DropPolicy for BufferManager {
+    fn name(&self) -> &str {
+        "tail-drop"
+    }
+
+    fn offer(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal> {
+        self.try_enqueue(qm, flow, packet)
+            .map(|()| Admission::default())
+            .map_err(Refusal::from)
+    }
+}
+
+/// Counters shared by the push-out/dynamic policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyStats {
+    /// Packets admitted (enqueued).
+    pub admitted: u64,
+    /// Arriving packets refused.
+    pub dropped: u64,
+    /// Queued packets pushed out to make room.
+    pub evicted_packets: u64,
+    /// Payload bytes pushed out.
+    pub evicted_bytes: u64,
+}
+
+/// Longest Queue Drop: when the shared buffer cannot hold the arrival,
+/// push complete packets out of the *longest* queue until it fits.
+///
+/// This is the policy Matsakis analyses for shared-memory switches (LQD
+/// is 1.5-competitive against an offline adversary): no static per-flow
+/// partitioning, so a single bursty flow can use the whole buffer while
+/// it is otherwise idle, yet cannot starve others — under pressure it is
+/// precisely the hog that pays. Eviction is drop-from-front of the
+/// longest queue, which for feedback-controlled traffic also signals
+/// congestion earliest. If the arriving flow itself holds the longest
+/// queue, its own head packet is pushed out — net occupancy stays flat
+/// while the freshest data is kept.
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::policy::{DropPolicy, LongestQueueDrop};
+/// use npqm_core::{FlowId, QmConfig, QueueManager};
+///
+/// let cfg = QmConfig::builder()
+///     .num_flows(2)
+///     .num_segments(4)
+///     .segment_bytes(64)
+///     .build()
+///     .unwrap();
+/// let mut qm = QueueManager::new(cfg);
+/// let mut lqd = LongestQueueDrop::new(0);
+/// // Flow 0 fills the entire 4-segment buffer...
+/// for _ in 0..4 {
+///     lqd.offer(&mut qm, FlowId::new(0), &[0u8; 64]).unwrap();
+/// }
+/// // ...and flow 1 still gets in: the longest queue (flow 0) is pushed out.
+/// let adm = lqd.offer(&mut qm, FlowId::new(1), &[1u8; 64]).unwrap();
+/// assert_eq!(adm.evicted, vec![(FlowId::new(0), 64)]);
+/// assert_eq!(qm.queue_len_packets(FlowId::new(1)), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LongestQueueDrop {
+    reserve_segments: u32,
+    stats: PolicyStats,
+}
+
+impl LongestQueueDrop {
+    /// Creates the policy, keeping `reserve_segments` segments free for
+    /// flows with packets already mid-assembly (same role as the
+    /// [`BufferManager`] reserve).
+    pub fn new(reserve_segments: u32) -> Self {
+        LongestQueueDrop {
+            reserve_segments,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Admission/eviction statistics.
+    pub const fn stats(&self) -> &PolicyStats {
+        &self.stats
+    }
+}
+
+impl DropPolicy for LongestQueueDrop {
+    fn name(&self) -> &str {
+        "lqd"
+    }
+
+    fn offer(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal> {
+        let needed = packet.len().div_ceil(qm.config().segment_bytes() as usize) as u32;
+        // An arrival that could not fit even an empty buffer is refused
+        // outright — evicting for it would be pure loss.
+        if needed + self.reserve_segments > qm.config().num_segments() {
+            self.stats.dropped += 1;
+            return Err(Refusal::from(DropReason::GlobalReserve));
+        }
+        let mut admission = Admission::default();
+        while qm.free_segments() < needed + self.reserve_segments {
+            // Push out of the longest evictable queue until the arrival
+            // fits. If nothing evictable remains (the remaining occupancy
+            // is all mid-SAR open packets), the arrival is dropped — and
+            // the refusal reports what was already pushed out.
+            let Some(victim) = longest_evictable(qm) else {
+                self.stats.dropped += 1;
+                return Err(Refusal {
+                    reason: DropReason::GlobalReserve,
+                    evicted: admission.evicted,
+                });
+            };
+            let (_segs, bytes) = qm
+                .delete_packet(victim)
+                .expect("victim has a complete head packet");
+            self.stats.evicted_packets += 1;
+            self.stats.evicted_bytes += bytes as u64;
+            admission.evicted.push((victim, bytes));
+        }
+        match qm.enqueue_packet(flow, packet) {
+            Ok(()) => {
+                self.stats.admitted += 1;
+                Ok(admission)
+            }
+            Err(e) => {
+                self.stats.dropped += 1;
+                Err(Refusal {
+                    reason: DropReason::Engine(e),
+                    evicted: admission.evicted,
+                })
+            }
+        }
+    }
+}
+
+/// The flow holding the most bytes among those with at least one
+/// complete (evictable) packet.
+///
+/// Fast path: the engine's occupancy index. When the overall-longest
+/// queue happens to be unevictable (its only content is a mid-SAR open
+/// packet), falls back to a linear scan — rare, since an open packet can
+/// hog the maximum only while its flow out-buffers every other flow.
+fn longest_evictable(qm: &mut QueueManager) -> Option<FlowId> {
+    if let Some((flow, _)) = qm.longest_queue() {
+        if qm.complete_packets(flow) > 0 {
+            return Some(flow);
+        }
+    }
+    (0..qm.config().num_flows())
+        .map(FlowId::new)
+        .filter(|&f| qm.complete_packets(f) > 0)
+        .max_by_key(|&f| qm.queue_len_bytes(f))
+}
+
+/// Choudhury–Hahne dynamic thresholds: a flow may hold at most
+/// `alpha × free_bytes` of the shared buffer.
+///
+/// The threshold is recomputed against the *current* unused space, so it
+/// tightens as the buffer fills and relaxes as it drains — a lone flow
+/// gets `alpha / (1 + alpha)` of the whole buffer, while `n` equally
+/// loaded flows converge to equal shares with a deliberate slack of free
+/// memory held back to absorb new arrivals. No per-flow configuration is
+/// needed, which is why dynamic thresholds displaced static tail-drop
+/// caps in shared-memory packet buffers.
+#[derive(Debug, Clone)]
+pub struct DynamicThreshold {
+    alpha: f64,
+    stats: PolicyStats,
+}
+
+impl DynamicThreshold {
+    /// Creates the policy with the given `alpha` (typical values 0.5–2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not strictly positive and finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be positive and finite"
+        );
+        DynamicThreshold {
+            alpha,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Admission statistics.
+    pub const fn stats(&self) -> &PolicyStats {
+        &self.stats
+    }
+
+    /// The byte threshold currently applying to every flow.
+    pub fn threshold_bytes(&self, qm: &QueueManager) -> f64 {
+        let free_bytes = qm.free_segments() as u64 * qm.config().segment_bytes() as u64;
+        self.alpha * free_bytes as f64
+    }
+}
+
+impl DropPolicy for DynamicThreshold {
+    fn name(&self) -> &str {
+        "dyn-threshold"
+    }
+
+    fn offer(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal> {
+        if (qm.queue_len_bytes(flow) + packet.len() as u64) as f64 > self.threshold_bytes(qm) {
+            self.stats.dropped += 1;
+            return Err(Refusal::from(DropReason::FlowBytes));
+        }
+        match qm.enqueue_packet(flow, packet) {
+            Ok(()) => {
+                self.stats.admitted += 1;
+                Ok(Admission::default())
+            }
+            Err(e) => {
+                self.stats.dropped += 1;
+                Err(Refusal::from(DropReason::Engine(e)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QmConfig;
+    use crate::limits::FlowLimits;
+
+    fn engine(segments: u32) -> QueueManager {
+        QueueManager::new(
+            QmConfig::builder()
+                .num_flows(4)
+                .num_segments(segments)
+                .segment_bytes(64)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// Parks an open (mid-SAR) 2-segment packet on `flow`: unevictable
+    /// occupancy for the push-out tests.
+    fn open_two_segments(qm: &mut QueueManager, flow: FlowId) {
+        use crate::manager::SegmentPosition;
+        qm.enqueue(flow, &[9u8; 64], SegmentPosition::First)
+            .unwrap();
+        qm.enqueue(flow, &[9u8; 64], SegmentPosition::Middle)
+            .unwrap();
+    }
+
+    #[test]
+    fn buffer_manager_is_a_drop_policy() {
+        let mut qm = engine(16);
+        let mut bm = BufferManager::new(
+            FlowLimits {
+                max_bytes: 64,
+                max_packets: 8,
+            },
+            0,
+        );
+        let p: &mut dyn DropPolicy = &mut bm;
+        assert_eq!(p.name(), "tail-drop");
+        assert_eq!(
+            p.offer(&mut qm, FlowId::new(0), &[0u8; 64]),
+            Ok(Admission::default())
+        );
+        assert_eq!(
+            p.offer(&mut qm, FlowId::new(0), &[0u8; 64]),
+            Err(Refusal::from(DropReason::FlowBytes))
+        );
+    }
+
+    #[test]
+    fn lqd_pushes_out_the_longest_queue() {
+        let mut qm = engine(8);
+        let mut lqd = LongestQueueDrop::new(0);
+        // Flow 0: 5 segments queued; flow 1: 3 segments. Buffer full.
+        for _ in 0..5 {
+            lqd.offer(&mut qm, FlowId::new(0), &[0u8; 64]).unwrap();
+        }
+        for _ in 0..3 {
+            lqd.offer(&mut qm, FlowId::new(1), &[1u8; 64]).unwrap();
+        }
+        assert_eq!(qm.free_segments(), 0);
+        // Flow 2 arrives: the hog (flow 0) pays, not flow 1.
+        let adm = lqd.offer(&mut qm, FlowId::new(2), &[2u8; 64]).unwrap();
+        assert_eq!(adm.evicted, vec![(FlowId::new(0), 64)]);
+        assert_eq!(qm.queue_len_packets(FlowId::new(0)), 4);
+        assert_eq!(qm.queue_len_packets(FlowId::new(1)), 3);
+        assert_eq!(qm.queue_len_packets(FlowId::new(2)), 1);
+        assert_eq!(lqd.stats().evicted_packets, 1);
+        assert_eq!(lqd.stats().admitted, 9);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn lqd_evicts_own_head_when_it_is_the_hog() {
+        let mut qm = engine(4);
+        let mut lqd = LongestQueueDrop::new(0);
+        for i in 0..4u8 {
+            lqd.offer(&mut qm, FlowId::new(0), &[i; 64]).unwrap();
+        }
+        let adm = lqd.offer(&mut qm, FlowId::new(0), &[9u8; 64]).unwrap();
+        assert_eq!(adm.evicted, vec![(FlowId::new(0), 64)]);
+        // The oldest packet was dropped, the freshest kept.
+        assert_eq!(qm.dequeue_packet(FlowId::new(0)).unwrap(), vec![1u8; 64]);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn lqd_multi_segment_arrival_evicts_until_it_fits() {
+        let mut qm = engine(8);
+        let mut lqd = LongestQueueDrop::new(0);
+        for _ in 0..8 {
+            lqd.offer(&mut qm, FlowId::new(0), &[0u8; 64]).unwrap();
+        }
+        // 3-segment arrival: three 1-segment packets must be pushed out.
+        let adm = lqd.offer(&mut qm, FlowId::new(1), &[1u8; 160]).unwrap();
+        assert_eq!(adm.evicted.len(), 3);
+        assert_eq!(qm.queue_len_packets(FlowId::new(0)), 5);
+        assert_eq!(qm.queue_len_bytes(FlowId::new(1)), 160);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn lqd_drops_arrival_larger_than_buffer_without_evicting() {
+        let mut qm = engine(2);
+        let mut lqd = LongestQueueDrop::new(0);
+        // The buffer already holds a packet; a hopeless arrival must not
+        // push anything out on its way to being refused.
+        lqd.offer(&mut qm, FlowId::new(1), &[7u8; 64]).unwrap();
+        assert_eq!(
+            lqd.offer(&mut qm, FlowId::new(0), &[0u8; 200]),
+            Err(Refusal::from(DropReason::GlobalReserve))
+        );
+        assert_eq!(lqd.stats().dropped, 1);
+        assert_eq!(lqd.stats().evicted_packets, 0);
+        assert!(qm.is_empty(FlowId::new(0)));
+        assert_eq!(qm.queue_len_packets(FlowId::new(1)), 1);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn lqd_refusal_reports_collateral_evictions() {
+        let mut qm = engine(4);
+        let mut lqd = LongestQueueDrop::new(0);
+        // Flow 1 holds two complete 1-segment packets; flow 0 then fills
+        // the remaining two segments with one open (mid-SAR) packet.
+        lqd.offer(&mut qm, FlowId::new(1), &[1u8; 64]).unwrap();
+        lqd.offer(&mut qm, FlowId::new(1), &[2u8; 64]).unwrap();
+        open_two_segments(&mut qm, FlowId::new(0));
+        assert_eq!(qm.free_segments(), 0);
+        // A 3-segment arrival can evict flow 1's two packets, but the
+        // open packet is untouchable: the refusal must carry the victims.
+        let refusal = lqd.offer(&mut qm, FlowId::new(2), &[3u8; 160]).unwrap_err();
+        assert_eq!(refusal.reason, DropReason::GlobalReserve);
+        assert_eq!(
+            refusal.evicted,
+            vec![(FlowId::new(1), 64), (FlowId::new(1), 64)]
+        );
+        assert!(qm.is_empty(FlowId::new(1)));
+        assert!(qm.is_empty(FlowId::new(2)));
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn lqd_skips_unevictable_longest_queue() {
+        let mut qm = engine(4);
+        let mut lqd = LongestQueueDrop::new(0);
+        // Flow 0's open packet is the longest queue (128 bytes); flow 1
+        // holds one complete 64-byte packet. The next arrival must evict
+        // from flow 1 rather than giving up on the mid-SAR hog.
+        open_two_segments(&mut qm, FlowId::new(0));
+        lqd.offer(&mut qm, FlowId::new(1), &[1u8; 64]).unwrap();
+        assert_eq!(qm.free_segments(), 1);
+        let adm = lqd.offer(&mut qm, FlowId::new(2), &[2u8; 128]).unwrap();
+        assert_eq!(adm.evicted, vec![(FlowId::new(1), 64)]);
+        assert_eq!(qm.queue_len_bytes(FlowId::new(2)), 128);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn lqd_respects_reserve() {
+        let mut qm = engine(8);
+        let mut lqd = LongestQueueDrop::new(4);
+        for _ in 0..4 {
+            lqd.offer(&mut qm, FlowId::new(0), &[0u8; 64]).unwrap();
+        }
+        // Admitting a 5th would dip into the reserve: push-out keeps the
+        // reserve intact instead of shrinking it.
+        lqd.offer(&mut qm, FlowId::new(1), &[1u8; 64]).unwrap();
+        assert_eq!(qm.free_segments(), 4);
+        assert_eq!(lqd.stats().evicted_packets, 1);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn dynamic_threshold_tightens_as_buffer_fills() {
+        let mut qm = engine(16);
+        let mut dt = DynamicThreshold::new(1.0);
+        let f = FlowId::new(0);
+        // alpha = 1: a lone flow converges to half the buffer (8 of 16
+        // segments), instead of a fixed cap.
+        let mut admitted = 0;
+        for _ in 0..16 {
+            if dt.offer(&mut qm, f, &[0u8; 64]).is_ok() {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 8, "alpha/(1+alpha) of the buffer");
+        // A second flow still finds space below the (tightened) threshold.
+        assert!(dt.offer(&mut qm, FlowId::new(1), &[1u8; 64]).is_ok());
+        assert_eq!(dt.stats().dropped, 8);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn dynamic_threshold_never_evicts() {
+        let mut qm = engine(8);
+        let mut dt = DynamicThreshold::new(2.0);
+        for _ in 0..8 {
+            let _ = dt.offer(&mut qm, FlowId::new(0), &[0u8; 64]);
+        }
+        let before = qm.queue_len_packets(FlowId::new(0));
+        let _ = dt.offer(&mut qm, FlowId::new(1), &[1u8; 64]);
+        assert_eq!(qm.queue_len_packets(FlowId::new(0)), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_panics() {
+        let _ = DynamicThreshold::new(0.0);
+    }
+}

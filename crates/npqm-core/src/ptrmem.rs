@@ -48,6 +48,12 @@ pub struct PktRecord {
     pub bytes: u32,
     /// True once the head of the packet has been partially dequeued.
     pub started: bool,
+    /// True once the packet's end-of-packet segment has been recorded —
+    /// i.e. the packet is complete. While a flow's SAR is mid-packet,
+    /// exactly the queue's *tail* packet has `eop == false`; the
+    /// invariant checker relies on this to detect torn packets spliced
+    /// behind an open tail.
+    pub eop: bool,
 }
 
 impl Default for PktRecord {
@@ -59,6 +65,7 @@ impl Default for PktRecord {
             segs: 0,
             bytes: 0,
             started: false,
+            eop: false,
         }
     }
 }

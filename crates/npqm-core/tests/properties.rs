@@ -259,6 +259,230 @@ proptest! {
     }
 }
 
+mod open_tail_props {
+    //! Packet boundaries survive any interleaving of segment-level SAR
+    //! traffic with the structural operations (move / append_tail /
+    //! dequeue). This is the property the open-tail corruption bugs
+    //! violated: pre-fix, a `move_packet` into an open destination (or a
+    //! rotation past an open tail, or an `append_tail` on one) produced
+    //! torn frames that dequeued "successfully" with the wrong bytes.
+
+    use npqm_core::manager::SegmentPosition;
+    use npqm_core::{FlowId, QmConfig, QueueError, QueueManager};
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    const FLOWS: u32 = 3;
+
+    #[derive(Debug, Clone)]
+    enum SarOp {
+        /// `First` segment: opens a packet (SAR error if one is open).
+        Begin {
+            flow: u32,
+            len: usize,
+        },
+        /// `Middle` segment: extends the open packet.
+        Continue {
+            flow: u32,
+            len: usize,
+        },
+        /// `Last` segment: completes the open packet.
+        End {
+            flow: u32,
+            len: usize,
+        },
+        /// Whole-packet enqueue (SAR error while the flow is open).
+        EnqueuePacket {
+            flow: u32,
+            len: usize,
+        },
+        MovePacket {
+            src: u32,
+            dst: u32,
+        },
+        AppendTail {
+            flow: u32,
+            len: usize,
+        },
+        DequeuePacket {
+            flow: u32,
+        },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = SarOp> {
+        prop_oneof![
+            (0..FLOWS, 1usize..65).prop_map(|(flow, len)| SarOp::Begin { flow, len }),
+            (0..FLOWS, 1usize..65).prop_map(|(flow, len)| SarOp::Continue { flow, len }),
+            (0..FLOWS, 1usize..65).prop_map(|(flow, len)| SarOp::End { flow, len }),
+            (0..FLOWS, 1usize..150).prop_map(|(flow, len)| SarOp::EnqueuePacket { flow, len }),
+            (0..FLOWS, 0..FLOWS).prop_map(|(src, dst)| SarOp::MovePacket { src, dst }),
+            (0..FLOWS, 1usize..65).prop_map(|(flow, len)| SarOp::AppendTail { flow, len }),
+            (0..FLOWS).prop_map(|flow| SarOp::DequeuePacket { flow }),
+        ]
+    }
+
+    /// Oracle: complete packets per flow, plus the open (mid-SAR) one.
+    #[derive(Default)]
+    struct Flow {
+        complete: VecDeque<Vec<u8>>,
+        open: Option<Vec<u8>>,
+    }
+
+    fn payload(tag: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| (tag as usize + i) as u8).collect()
+    }
+
+    fn is_sar(e: &QueueError) -> bool {
+        matches!(e, QueueError::SarProtocol { .. })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn packet_boundaries_survive_open_tail_interleavings(
+            ops in proptest::collection::vec(op_strategy(), 1..150),
+        ) {
+            let cfg = QmConfig::builder()
+                .num_flows(FLOWS)
+                .num_segments(1024)
+                .segment_bytes(64)
+                .build()
+                .unwrap();
+            let mut qm = QueueManager::new(cfg);
+            let mut oracle: Vec<Flow> = (0..FLOWS).map(|_| Flow::default()).collect();
+            let mut tag = 0u64;
+
+            for op in &ops {
+                match *op {
+                    SarOp::Begin { flow, len } => {
+                        tag += 1;
+                        let data = payload(tag, len);
+                        let r = qm.enqueue(FlowId::new(flow), &data, SegmentPosition::First);
+                        let o = &mut oracle[flow as usize];
+                        if o.open.is_some() {
+                            prop_assert!(r.as_ref().is_err_and(is_sar), "{r:?}");
+                        } else {
+                            prop_assert!(r.is_ok());
+                            o.open = Some(data);
+                        }
+                    }
+                    SarOp::Continue { flow, len } => {
+                        tag += 1;
+                        let data = payload(tag, len);
+                        let r = qm.enqueue(FlowId::new(flow), &data, SegmentPosition::Middle);
+                        let o = &mut oracle[flow as usize];
+                        match &mut o.open {
+                            Some(buf) => {
+                                prop_assert!(r.is_ok());
+                                buf.extend_from_slice(&data);
+                            }
+                            None => prop_assert!(r.as_ref().is_err_and(is_sar), "{r:?}"),
+                        }
+                    }
+                    SarOp::End { flow, len } => {
+                        tag += 1;
+                        let data = payload(tag, len);
+                        let r = qm.enqueue(FlowId::new(flow), &data, SegmentPosition::Last);
+                        let o = &mut oracle[flow as usize];
+                        match o.open.take() {
+                            Some(mut buf) => {
+                                prop_assert!(r.is_ok());
+                                buf.extend_from_slice(&data);
+                                o.complete.push_back(buf);
+                            }
+                            None => prop_assert!(r.as_ref().is_err_and(is_sar), "{r:?}"),
+                        }
+                    }
+                    SarOp::EnqueuePacket { flow, len } => {
+                        tag += 1;
+                        let data = payload(tag, len);
+                        let r = qm.enqueue_packet(FlowId::new(flow), &data);
+                        let o = &mut oracle[flow as usize];
+                        if o.open.is_some() {
+                            prop_assert!(r.as_ref().is_err_and(is_sar), "{r:?}");
+                        } else {
+                            prop_assert!(r.is_ok());
+                            o.complete.push_back(data);
+                        }
+                    }
+                    SarOp::MovePacket { src, dst } => {
+                        let r = qm.move_packet(FlowId::new(src), FlowId::new(dst));
+                        // Engine check order: src emptiness, then dst open.
+                        if oracle[src as usize].complete.is_empty() {
+                            prop_assert_eq!(
+                                r,
+                                Err(QueueError::QueueEmpty { flow: FlowId::new(src) })
+                            );
+                        } else if oracle[dst as usize].open.is_some() {
+                            prop_assert!(r.as_ref().is_err_and(is_sar), "{r:?}");
+                        } else {
+                            prop_assert!(r.is_ok());
+                            if src == dst {
+                                if oracle[src as usize].complete.len() > 1 {
+                                    let p =
+                                        oracle[src as usize].complete.pop_front().unwrap();
+                                    oracle[src as usize].complete.push_back(p);
+                                }
+                            } else {
+                                let p = oracle[src as usize].complete.pop_front().unwrap();
+                                oracle[dst as usize].complete.push_back(p);
+                            }
+                        }
+                    }
+                    SarOp::AppendTail { flow, len } => {
+                        tag += 1;
+                        let data = payload(tag, len);
+                        let r = qm.append_tail(FlowId::new(flow), &data);
+                        let o = &mut oracle[flow as usize];
+                        if o.complete.is_empty() && o.open.is_none() {
+                            prop_assert_eq!(
+                                r,
+                                Err(QueueError::QueueEmpty { flow: FlowId::new(flow) })
+                            );
+                        } else if o.open.is_some() {
+                            prop_assert!(r.as_ref().is_err_and(is_sar), "{r:?}");
+                        } else {
+                            prop_assert!(r.is_ok());
+                            o.complete.back_mut().unwrap().extend_from_slice(&data);
+                        }
+                    }
+                    SarOp::DequeuePacket { flow } => {
+                        let r = qm.dequeue_packet(FlowId::new(flow));
+                        let o = &mut oracle[flow as usize];
+                        match o.complete.pop_front() {
+                            Some(expect) => prop_assert_eq!(r.unwrap(), expect),
+                            None => prop_assert!(matches!(
+                                r,
+                                Err(QueueError::QueueEmpty { .. })
+                            )),
+                        }
+                    }
+                }
+                qm.verify().map_err(|v| {
+                    TestCaseError::fail(format!("invariant violation after {op:?}: {v}"))
+                })?;
+            }
+
+            // Drain: every remaining complete packet comes out intact and
+            // in order; the open packets finish and come out intact too.
+            for flow in 0..FLOWS {
+                let f = FlowId::new(flow);
+                if let Some(mut buf) = oracle[flow as usize].open.take() {
+                    qm.enqueue(f, &[0xEE], SegmentPosition::Last).unwrap();
+                    buf.push(0xEE);
+                    oracle[flow as usize].complete.push_back(buf);
+                }
+                while let Some(expect) = oracle[flow as usize].complete.pop_front() {
+                    prop_assert_eq!(qm.dequeue_packet(f).unwrap(), expect);
+                }
+                prop_assert!(qm.is_empty(f));
+            }
+            qm.verify().unwrap();
+        }
+    }
+}
+
 mod sched_props {
     use npqm_core::limits::{BufferManager, FlowLimits};
     use npqm_core::sched::{

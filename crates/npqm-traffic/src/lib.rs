@@ -12,6 +12,10 @@
 //! * [`arrival`] — arrival processes (CBR, Poisson, bursty on-off);
 //! * [`flows`] — flow-population models (uniform, Zipf) and a flow table;
 //! * [`trace`] — recordable/replayable workload traces;
+//! * [`pipeline`] — the closed-loop simulation: traffic through a
+//!   pluggable drop policy into [`npqm_core::QueueManager`], drained by a
+//!   scheduler at a configurable egress rate (the drop-policy experiments
+//!   of `table6` run on this);
 //! * [`apps`] — the six paper applications implemented over
 //!   [`npqm_core::QueueManager`], used by the examples and integration
 //!   tests.
@@ -40,11 +44,13 @@ pub mod apps;
 pub mod arrival;
 pub mod flows;
 pub mod packet;
+pub mod pipeline;
 pub mod size;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use flows::FlowMix;
 pub use packet::{AtmCell, EthernetFrame, Ipv4Packet, MacAddr, VlanTag};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, PolicyOutcome};
 pub use size::SizeDistribution;
 pub use trace::{Trace, TraceRecord};

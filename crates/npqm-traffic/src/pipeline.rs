@@ -1,0 +1,565 @@
+//! The closed-loop simulation pipeline: traffic → admission → queues →
+//! scheduler → egress.
+//!
+//! Everything upstream of this module is a component: arrival processes,
+//! size distributions and flow mixes ([`crate::arrival`], [`crate::size`],
+//! [`crate::flows`]), the queue engine
+//! ([`npqm_core::QueueManager`]), buffer-management policies
+//! ([`npqm_core::policy::DropPolicy`]) and egress schedulers
+//! ([`npqm_core::sched::FlowScheduler`]). This module wires them into one
+//! discrete-event loop on the [`npqm_sim::EventQueue`]: a packet source
+//! offers traffic to a pluggable drop policy, admitted packets queue per
+//! flow, and a single egress server drains them through a scheduler at a
+//! configurable line rate — so buffer-management policies can finally be
+//! *exercised and measured* instead of only unit-tested.
+//!
+//! The loop keeps a per-flow ledger with one slot — enqueue time, length
+//! and a marker byte stamped into the frame — for every packet in the
+//! buffer, which yields per-flow latency and an end-to-end integrity
+//! check: a delivered frame whose length *or marker* differs from what
+//! was admitted for that slot means a torn or cross-linked packet (the
+//! corruption class the open-tail fixes in `npqm-core` close) and is
+//! counted, never ignored.
+//!
+//! # Example
+//!
+//! ```
+//! use npqm_core::policy::LongestQueueDrop;
+//! use npqm_core::sched::DeficitRoundRobin;
+//! use npqm_traffic::pipeline::{run_pipeline, PipelineConfig};
+//!
+//! let cfg = PipelineConfig::small_demo(7);
+//! let mut policy = LongestQueueDrop::new(0);
+//! let mut sched = DeficitRoundRobin::new(vec![1518; cfg.mix.flows() as usize]);
+//! let report = run_pipeline(&cfg, &mut policy, &mut sched);
+//! assert!(report.delivered_pkts > 0);
+//! assert_eq!(report.integrity_violations, 0);
+//! ```
+
+use crate::arrival::{ArrivalGen, ArrivalProcess};
+use crate::flows::FlowMix;
+use crate::size::SizeDistribution;
+use npqm_core::limits::{BufferManager, FlowLimits};
+use npqm_core::policy::{DropPolicy, DynamicThreshold, LongestQueueDrop};
+use npqm_core::sched::{DeficitRoundRobin, FlowScheduler};
+use npqm_core::{FlowId, QmConfig, QueueManager};
+use npqm_sim::rng::Xoshiro256pp;
+use npqm_sim::stats::MeanVar;
+use npqm_sim::time::Picos;
+use npqm_sim::EventQueue;
+use std::collections::VecDeque;
+
+/// Configuration of one closed-loop run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Engine configuration (buffer size, segment size, flow count).
+    pub qm: QmConfig,
+    /// Packet inter-arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Packet-size distribution.
+    pub sizes: SizeDistribution,
+    /// Which flow each packet belongs to.
+    pub mix: FlowMix,
+    /// Egress (server) line rate in Gbit/s.
+    pub egress_gbps: f64,
+    /// Arrivals are generated until this instant; the backlog then drains.
+    pub duration: Picos,
+    /// RNG seed (arrival jitter, sizes and flow choice are all derived
+    /// from it, so a run is a pure function of this configuration).
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// A small, fast scenario for doc-tests and smoke tests: 4 flows,
+    /// light overload, ~1 µs of traffic.
+    pub fn small_demo(seed: u64) -> Self {
+        PipelineConfig {
+            qm: QmConfig::builder()
+                .num_flows(4)
+                .num_segments(64)
+                .segment_bytes(64)
+                .build()
+                .expect("static configuration is valid"),
+            arrivals: ArrivalProcess::Poisson {
+                mean_interval: Picos::from_nanos(200),
+            },
+            sizes: SizeDistribution::Fixed(64),
+            mix: FlowMix::uniform(4),
+            egress_gbps: 2.0,
+            duration: Picos::from_micros(1),
+            seed,
+        }
+    }
+
+    /// The bursty-overload scenario `table6` reports: Zipf-skewed on-off
+    /// bursts offering ~9.3 Gbit/s of IMIX traffic to a 6 Gbit/s egress
+    /// through a 32 KiB shared buffer. This is the regime where
+    /// buffer-management policy choice dominates goodput: static per-flow
+    /// partitions waste buffer that the bursting (popular) flows need,
+    /// while push-out and dynamic thresholds share it.
+    pub fn bursty_overload(seed: u64) -> Self {
+        PipelineConfig {
+            qm: QmConfig::builder()
+                .num_flows(16)
+                .num_segments(512)
+                .segment_bytes(64)
+                .build()
+                .expect("static configuration is valid"),
+            arrivals: ArrivalProcess::OnOff {
+                on_interval: Picos::from_nanos(60),
+                mean_burst: 24.0,
+                mean_off: Picos::from_nanos(6_000),
+            },
+            sizes: SizeDistribution::Imix,
+            mix: FlowMix::zipf(16, 1.2),
+            egress_gbps: 6.0,
+            duration: Picos::from_micros(2_000),
+            seed,
+        }
+    }
+
+    /// Mean offered load in Gbit/s implied by the arrival process and
+    /// size distribution.
+    pub fn offered_gbps(&self) -> f64 {
+        self.arrivals.mean_rate_pps() * self.sizes.mean() * 8.0 / 1e9
+    }
+}
+
+/// Per-flow outcome of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct FlowReport {
+    /// Packets the source offered to the policy.
+    pub offered_pkts: u64,
+    /// Payload bytes offered.
+    pub offered_bytes: u64,
+    /// Packets the policy admitted into the buffer.
+    pub admitted_pkts: u64,
+    /// Arriving packets the policy refused.
+    pub dropped_pkts: u64,
+    /// Queued packets pushed out again by the policy (LQD).
+    pub evicted_pkts: u64,
+    /// Packets delivered at egress.
+    pub delivered_pkts: u64,
+    /// Payload bytes delivered at egress.
+    pub delivered_bytes: u64,
+    /// Queueing + transmission delay of delivered packets, in ns.
+    pub latency_ns: MeanVar,
+}
+
+/// Aggregate outcome of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Per-flow breakdown, indexed by flow id.
+    pub flows: Vec<FlowReport>,
+    /// Packets offered across all flows.
+    pub offered_pkts: u64,
+    /// Bytes offered across all flows.
+    pub offered_bytes: u64,
+    /// Arriving packets refused across all flows.
+    pub dropped_pkts: u64,
+    /// Queued packets pushed out across all flows.
+    pub evicted_pkts: u64,
+    /// Packets delivered at egress.
+    pub delivered_pkts: u64,
+    /// Bytes delivered at egress.
+    pub delivered_bytes: u64,
+    /// Delay of all delivered packets, in ns.
+    pub latency_ns: MeanVar,
+    /// Time of the last event (arrivals plus backlog drain).
+    pub makespan: Picos,
+    /// Frames that did not match their ledger slot: delivered frames are
+    /// checked for length *and* marker byte; evicted frames for length
+    /// only (their payload is gone by eviction time). Any mismatch means
+    /// a torn or cross-linked packet. Always 0 on a healthy engine.
+    pub integrity_violations: u64,
+}
+
+impl PipelineReport {
+    /// Delivered payload throughput in Gbit/s over the whole run
+    /// (1 Gbit/s ≡ 1 bit/ns).
+    pub fn goodput_gbps(&self) -> f64 {
+        if self.makespan == Picos::ZERO {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 * 8.0 / self.makespan.as_nanos_f64()
+    }
+
+    /// Fraction of offered packets that were refused or pushed out.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.offered_pkts == 0 {
+            return 0.0;
+        }
+        (self.dropped_pkts + self.evicted_pkts) as f64 / self.offered_pkts as f64
+    }
+}
+
+/// Events of the closed loop: a packet arrives, or the egress server
+/// finishes transmitting one.
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrival,
+    TxDone {
+        flow: FlowId,
+        bytes: u32,
+        enqueued_at: Picos,
+    },
+}
+
+/// One buffered packet's ledger slot: when it was admitted, how long it
+/// is, and the marker byte stamped into its first payload byte.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    enqueued_at: Picos,
+    len: u32,
+    marker: u8,
+}
+
+/// Runs the closed loop: `cfg.arrivals` feeds `policy`-guarded admission
+/// into a fresh [`QueueManager`], and one egress server drains it through
+/// `sched` at `cfg.egress_gbps`.
+///
+/// Arrivals stop at `cfg.duration`; the loop then runs until the backlog
+/// has fully drained, so admitted ≡ delivered + evicted at return.
+pub fn run_pipeline<P, S>(cfg: &PipelineConfig, policy: &mut P, sched: &mut S) -> PipelineReport
+where
+    P: DropPolicy + ?Sized,
+    S: FlowScheduler + ?Sized,
+{
+    let flows = cfg.mix.flows();
+    assert!(
+        flows <= cfg.qm.num_flows(),
+        "flow mix draws flows outside the engine's flow table"
+    );
+    assert!(cfg.egress_gbps > 0.0, "egress rate must be positive");
+
+    let mut qm = QueueManager::new(cfg.qm);
+    let mut arrivals = ArrivalGen::new(cfg.arrivals, cfg.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut ev: EventQueue<Ev> = EventQueue::new();
+    let mut report = PipelineReport {
+        flows: (0..flows).map(|_| FlowReport::default()).collect(),
+        ..PipelineReport::default()
+    };
+    // Per-flow ledger of one Slot per buffered packet; per-flow queues
+    // are FIFO, so admissions push at the back, evictions
+    // (drop-from-front) pop at the front, and service pops at the front.
+    let mut ledger: Vec<VecDeque<Slot>> = (0..flows).map(|_| VecDeque::new()).collect();
+    // Scratch payload sized to the largest packet the distribution can
+    // draw, so no sampled size is ever silently truncated.
+    let mut payload = vec![0xA5u8; cfg.sizes.max_bytes() as usize];
+    let mut seq = 0u64;
+    let mut server_busy = false;
+
+    let first = arrivals.next_arrival();
+    if first <= cfg.duration {
+        ev.schedule(first, Ev::Arrival);
+    }
+
+    while let Some((now, event)) = ev.pop() {
+        match event {
+            Ev::Arrival => {
+                let flow = cfg.mix.sample(&mut rng);
+                let size = cfg.sizes.sample(&mut rng) as usize;
+                // Stamp a per-packet marker into the frame: delivery
+                // re-checks it, so a torn or cross-linked frame is caught
+                // even when its length happens to survive.
+                let marker = seq as u8;
+                seq += 1;
+                payload[0] = marker;
+                let fr = &mut report.flows[flow.as_usize()];
+                fr.offered_pkts += 1;
+                fr.offered_bytes += size as u64;
+                let (evicted, admitted) = match policy.offer(&mut qm, flow, &payload[..size]) {
+                    Ok(admission) => (admission.evicted, true),
+                    Err(refusal) => (refusal.evicted, false),
+                };
+                // Evictions happen on admission *and* on refusal (a
+                // push-out policy may clear room and still fail): both
+                // must keep the ledger in sync.
+                for (victim, bytes) in evicted {
+                    let slot = ledger[victim.as_usize()]
+                        .pop_front()
+                        .expect("evicted packet must be in the ledger");
+                    if slot.len != bytes {
+                        report.integrity_violations += 1;
+                    }
+                    report.flows[victim.as_usize()].evicted_pkts += 1;
+                }
+                if admitted {
+                    ledger[flow.as_usize()].push_back(Slot {
+                        enqueued_at: now,
+                        len: size as u32,
+                        marker,
+                    });
+                    report.flows[flow.as_usize()].admitted_pkts += 1;
+                } else {
+                    report.flows[flow.as_usize()].dropped_pkts += 1;
+                }
+                let next = arrivals.next_arrival();
+                if next <= cfg.duration {
+                    ev.schedule(next, Ev::Arrival);
+                }
+                if !server_busy {
+                    server_busy = start_service(
+                        &mut qm,
+                        sched,
+                        &mut ledger,
+                        &mut ev,
+                        cfg,
+                        &mut report.integrity_violations,
+                    );
+                }
+            }
+            Ev::TxDone {
+                flow,
+                bytes,
+                enqueued_at,
+            } => {
+                let fr = &mut report.flows[flow.as_usize()];
+                fr.delivered_pkts += 1;
+                fr.delivered_bytes += bytes as u64;
+                fr.latency_ns.push((now - enqueued_at).as_nanos_f64());
+                server_busy = start_service(
+                    &mut qm,
+                    sched,
+                    &mut ledger,
+                    &mut ev,
+                    cfg,
+                    &mut report.integrity_violations,
+                );
+            }
+        }
+    }
+
+    report.makespan = ev.now();
+    for fr in &report.flows {
+        report.offered_pkts += fr.offered_pkts;
+        report.offered_bytes += fr.offered_bytes;
+        report.dropped_pkts += fr.dropped_pkts;
+        report.evicted_pkts += fr.evicted_pkts;
+        report.delivered_pkts += fr.delivered_pkts;
+        report.delivered_bytes += fr.delivered_bytes;
+        report.latency_ns.merge(&fr.latency_ns);
+    }
+    debug_assert!(
+        qm.verify().is_ok(),
+        "engine invariants violated after drain"
+    );
+    report
+}
+
+/// Asks the scheduler for the next flow and, if one is ready, dequeues
+/// its head packet, verifies it against the ledger (length and marker
+/// byte) and schedules the transmit-done event. Returns whether the
+/// server is now busy.
+fn start_service<S: FlowScheduler + ?Sized>(
+    qm: &mut QueueManager,
+    sched: &mut S,
+    ledger: &mut [VecDeque<Slot>],
+    ev: &mut EventQueue<Ev>,
+    cfg: &PipelineConfig,
+    integrity_violations: &mut u64,
+) -> bool {
+    let Some(flow) = sched.next_flow(qm) else {
+        return false;
+    };
+    let pkt = qm
+        .dequeue_packet(flow)
+        .expect("scheduler picked a ready flow");
+    sched.served(flow, pkt.len());
+    let slot = ledger[flow.as_usize()]
+        .pop_front()
+        .expect("served packet must be in the ledger");
+    if pkt.len() as u32 != slot.len || pkt[0] != slot.marker {
+        *integrity_violations += 1;
+    }
+    // Transmission time at the egress line rate.
+    let tx_ps = (pkt.len() as f64 * 8.0 * 1000.0 / cfg.egress_gbps).round() as u64;
+    ev.schedule_in(
+        Picos::new(tx_ps.max(1)),
+        Ev::TxDone {
+            flow,
+            bytes: pkt.len() as u32,
+            enqueued_at: slot.enqueued_at,
+        },
+    );
+    true
+}
+
+/// One named policy's outcome in a comparison run.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The policy's [`DropPolicy::name`].
+    pub policy: String,
+    /// The full pipeline report for this policy.
+    pub report: PipelineReport,
+}
+
+/// Runs the same scenario under the three buffer-management policies —
+/// static-partition tail drop, Longest Queue Drop and Choudhury–Hahne
+/// dynamic thresholds — each draining through a fresh byte-fair DRR
+/// scheduler, and returns the outcomes in that order.
+///
+/// Tail drop partitions the buffer statically (each flow may hold
+/// `1/flows` of the data memory), which is exactly the configuration the
+/// shared-buffer policies are meant to beat under bursty skewed load.
+pub fn compare_policies(cfg: &PipelineConfig) -> Vec<PolicyOutcome> {
+    let flows = cfg.mix.flows() as usize;
+    let per_flow_cap = cfg.qm.data_bytes() / flows as u64;
+    let mut tail_drop = BufferManager::new(
+        FlowLimits {
+            max_bytes: per_flow_cap,
+            max_packets: u32::MAX,
+        },
+        0,
+    );
+    let mut lqd = LongestQueueDrop::new(0);
+    let mut dt = DynamicThreshold::new(2.0);
+    let policies: [&mut dyn DropPolicy; 3] = [&mut tail_drop, &mut lqd, &mut dt];
+    policies
+        .into_iter()
+        .map(|policy| {
+            let mut sched = DeficitRoundRobin::new(vec![1518; flows]);
+            let name = policy.name().to_string();
+            let report = run_pipeline(cfg, policy, &mut sched);
+            PolicyOutcome {
+                policy: name,
+                report,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npqm_core::sched::StrictPriority;
+
+    #[test]
+    fn conservation_and_integrity_under_light_load() {
+        let cfg = PipelineConfig::small_demo(11);
+        let mut policy = LongestQueueDrop::new(0);
+        let mut sched = DeficitRoundRobin::new(vec![1518; 4]);
+        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        assert!(r.offered_pkts > 0);
+        assert_eq!(
+            r.offered_pkts,
+            r.delivered_pkts + r.dropped_pkts + r.evicted_pkts,
+            "every offered packet is accounted for"
+        );
+        assert_eq!(r.integrity_violations, 0);
+        assert!(r.makespan >= cfg.duration || r.offered_pkts == r.delivered_pkts);
+    }
+
+    #[test]
+    fn overload_drops_but_never_tears() {
+        let mut cfg = PipelineConfig::small_demo(5);
+        // 10x overload into a tiny buffer.
+        cfg.arrivals = ArrivalProcess::Poisson {
+            mean_interval: Picos::from_nanos(20),
+        };
+        cfg.duration = Picos::from_micros(5);
+        let mut policy = LongestQueueDrop::new(0);
+        let mut sched = DeficitRoundRobin::new(vec![1518; 4]);
+        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        assert!(r.dropped_pkts + r.evicted_pkts > 0, "overload must drop");
+        assert_eq!(r.integrity_violations, 0);
+        assert_eq!(
+            r.offered_pkts,
+            r.delivered_pkts + r.dropped_pkts + r.evicted_pkts
+        );
+        assert!(r.latency_ns.mean() > 0.0);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let cfg = PipelineConfig::bursty_overload(3);
+        let run = |seed_cfg: &PipelineConfig| {
+            let mut policy = DynamicThreshold::new(2.0);
+            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+            run_pipeline(seed_cfg, &mut policy, &mut sched)
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.delivered_pkts, b.delivered_pkts);
+        assert_eq!(a.delivered_bytes, b.delivered_bytes);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn works_with_any_scheduler() {
+        let cfg = PipelineConfig::small_demo(9);
+        let mut policy = DynamicThreshold::new(1.0);
+        let mut sched = StrictPriority::new(4);
+        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        assert_eq!(r.integrity_violations, 0);
+        assert_eq!(
+            r.offered_pkts,
+            r.delivered_pkts + r.dropped_pkts + r.evicted_pkts
+        );
+    }
+
+    #[test]
+    fn lqd_beats_static_tail_drop_under_bursty_overload() {
+        // The acceptance scenario: under Zipf-skewed on-off overload,
+        // sharing the buffer (LQD push-out) must deliver at least the
+        // goodput of statically partitioned tail drop.
+        let outcomes = compare_policies(&PipelineConfig::bursty_overload(42));
+        assert_eq!(outcomes.len(), 3);
+        let tail = &outcomes[0];
+        let lqd = &outcomes[1];
+        assert_eq!(tail.policy, "tail-drop");
+        assert_eq!(lqd.policy, "lqd");
+        for o in &outcomes {
+            assert_eq!(o.report.integrity_violations, 0, "{}", o.policy);
+            assert_eq!(
+                o.report.offered_pkts,
+                o.report.delivered_pkts + o.report.dropped_pkts + o.report.evicted_pkts,
+                "{}",
+                o.policy
+            );
+        }
+        assert!(
+            lqd.report.delivered_bytes >= tail.report.delivered_bytes,
+            "lqd {} < tail-drop {}",
+            lqd.report.delivered_bytes,
+            tail.report.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn jumbo_frames_are_not_truncated() {
+        let mut cfg = PipelineConfig::small_demo(13);
+        cfg.sizes = SizeDistribution::Fixed(9000);
+        cfg.qm = QmConfig::builder()
+            .num_flows(4)
+            .num_segments(1024)
+            .segment_bytes(64)
+            .build()
+            .unwrap();
+        cfg.arrivals = ArrivalProcess::Poisson {
+            mean_interval: Picos::from_nanos(8_000),
+        };
+        let mut policy = LongestQueueDrop::new(0);
+        let mut sched = DeficitRoundRobin::new(vec![9000; 4]);
+        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        assert!(r.offered_pkts > 0);
+        assert_eq!(r.offered_bytes, r.offered_pkts * 9000);
+        assert_eq!(r.delivered_bytes, r.delivered_pkts * 9000);
+        assert_eq!(r.integrity_violations, 0);
+    }
+
+    #[test]
+    fn offered_load_estimate_matches_measurement() {
+        let cfg = PipelineConfig::bursty_overload(1);
+        let mut policy = LongestQueueDrop::new(0);
+        let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        let measured = r.offered_bytes as f64 * 8.0 / cfg.duration.as_nanos_f64();
+        assert!(
+            (measured / cfg.offered_gbps() - 1.0).abs() < 0.2,
+            "measured {measured} vs predicted {}",
+            cfg.offered_gbps()
+        );
+    }
+}

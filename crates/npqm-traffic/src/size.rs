@@ -55,6 +55,16 @@ impl SizeDistribution {
             SizeDistribution::Uniform { min, max } => (min + max) as f64 / 2.0,
         }
     }
+
+    /// The largest packet size the distribution can produce, in bytes
+    /// (e.g. for sizing payload buffers).
+    pub fn max_bytes(&self) -> u32 {
+        match *self {
+            SizeDistribution::Fixed(n) => n,
+            SizeDistribution::Imix => 1518,
+            SizeDistribution::Uniform { max, .. } => max,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +114,22 @@ mod tests {
             assert!((40..=1500).contains(&s));
         }
         assert_eq!(d.mean(), 770.0);
+    }
+
+    #[test]
+    fn max_bytes_bounds_every_sample() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for d in [
+            SizeDistribution::Fixed(9000),
+            SizeDistribution::Imix,
+            SizeDistribution::Uniform { min: 40, max: 1500 },
+        ] {
+            let cap = d.max_bytes();
+            for _ in 0..500 {
+                assert!(d.sample(&mut rng) <= cap);
+            }
+        }
+        assert_eq!(SizeDistribution::Imix.max_bytes(), 1518);
     }
 
     #[test]

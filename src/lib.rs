@@ -16,7 +16,7 @@
 //! | [`ixp`] | IXP1200 microengine/memory-unit model | §4 (Table 2) |
 //! | [`npu`] | PowerPC + PLB prototype cycle model | §5 (Table 3) |
 //! | [`mms`] | the hardware MMS: DQM, DMC, scheduler | §6 (Tables 4, 5) |
-//! | [`traffic`] | packet codecs, generators, app scenarios | §1, §6 |
+//! | [`traffic`] | packet codecs, generators, app scenarios, the closed-loop drop-policy pipeline | §1, §6 |
 //!
 //! ## Quick start
 //!

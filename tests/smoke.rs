@@ -17,6 +17,24 @@ use npqm::sim::time::{Cycle, Freq, Picos};
 use npqm::traffic::packet::{EthernetFrame, MacAddr};
 
 #[test]
+fn pipeline_closed_loop_runs_through_facade() {
+    use npqm::core::policy::LongestQueueDrop;
+    use npqm::core::sched::DeficitRoundRobin;
+    use npqm::traffic::pipeline::{run_pipeline, PipelineConfig};
+
+    let cfg = PipelineConfig::small_demo(1);
+    let mut policy = LongestQueueDrop::new(0);
+    let mut sched = DeficitRoundRobin::new(vec![1518; 4]);
+    let report = run_pipeline(&cfg, &mut policy, &mut sched);
+    assert!(report.delivered_pkts > 0);
+    assert_eq!(report.integrity_violations, 0);
+    assert_eq!(
+        report.offered_pkts,
+        report.delivered_pkts + report.dropped_pkts + report.evicted_pkts
+    );
+}
+
+#[test]
 fn core_enqueue_dequeue_roundtrip() {
     let mut qm = QueueManager::new(QmConfig::small());
     let flow = FlowId::new(3);
