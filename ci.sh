@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # CI for the npqm workspace. Runs offline: every dependency is an in-repo
 # path crate (see crates/npqm-prop and crates/npqm-criterion for the
-# proptest/criterion stand-ins).
+# proptest/criterion stand-ins). The hosted pipeline in
+# .github/workflows/ci.yml runs exactly this script.
 #
-#   ./ci.sh         # format check, clippy (warnings are errors), tier-1
-#   ./ci.sh quick   # tier-1 only (build + test)
+#   ./ci.sh         # full pipeline: fmt, clippy, docs, tier-1, tables,
+#                   # golden checks, every example, bench smoke
+#   ./ci.sh quick   # tier-1 (build + test) plus the table6 golden check,
+#                   # so even the fast path catches torn-frame and
+#                   # conservation regressions
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,8 +19,25 @@ tier1() {
     cargo test -q
 }
 
+# Golden-output regression gates: the table binaries assert their
+# machine-readable invariants (packet + byte conservation, zero torn
+# frames, LQD >= tail-drop goodput, monotone shard scaling with >= 2x at
+# 4 shards) instead of having their stdout discarded.
+golden_quick() {
+    echo "==> table6 --check (drop-policy conservation gates)"
+    cargo run --release -q -p npqm-bench --bin table6 -- --check
+}
+
+golden_full() {
+    golden_quick
+    echo "==> table7 --check (shard-scaling gates)"
+    cargo run --release -q -p npqm-bench --bin table7 -- --check
+}
+
 if [[ "${1:-}" == "quick" ]]; then
     tier1
+    golden_quick
+    echo "CI quick green."
     exit 0
 fi
 
@@ -26,18 +47,33 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 tier1
 
 echo "==> cargo run --release -p npqm-bench --bin all_tables"
 cargo run --release -q -p npqm-bench --bin all_tables >/dev/null
 
-# Exercise the closed loop (traffic -> drop policy -> queues -> scheduler
-# -> egress) end to end, not just via unit tests: table6 asserts packet
-# conservation, zero torn packets and LQD >= tail-drop goodput.
-echo "==> cargo run --release -p npqm-bench --bin table6"
-cargo run --release -q -p npqm-bench --bin table6 >/dev/null
+golden_full
 
-echo "==> cargo run --release --example drop_policies"
-cargo run --release -q --example drop_policies >/dev/null
+# Every runnable scenario must stay runnable, not just drop_policies.
+for src in examples/*.rs; do
+    ex="$(basename "${src%.rs}")"
+    echo "==> example ${ex}"
+    cargo run --release -q --example "${ex}" >/dev/null
+done
+
+# Bench smoke: each criterion bench runs end to end on a tiny iteration
+# budget (the stand-in honors `-- --test` like the real criterion), so a
+# bench that panics or rots against the models fails CI without costing
+# bench-grade wall clock. The list is discovered from the benches
+# directory, like the examples loop, so new benches are smoked
+# automatically.
+for src in crates/npqm-bench/benches/*.rs; do
+    bench="$(basename "${src%.rs}")"
+    echo "==> bench-smoke ${bench}"
+    cargo bench -q -p npqm-bench --bench "${bench}" -- --test >/dev/null
+done
 
 echo "CI green."

@@ -1,0 +1,70 @@
+//! Criterion bench of the sharded batched engine: segments/sec versus
+//! shard count under the Zipf bursty-overload mix (the hot path behind
+//! `table7`), plus the raw `execute_batch` grouping overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npqm_core::manager::SegmentPosition;
+use npqm_core::{Command, FlowId, QmConfig, ShardedQueueManager};
+use npqm_traffic::scale::{run_shard_scale, ShardScaleConfig};
+use std::hint::black_box;
+
+fn bench_scale_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    let cfg = ShardScaleConfig::smoke();
+    // Workload size is fixed by the config; report per-offered-packet
+    // rates so shard counts are comparable.
+    group.throughput(Throughput::Elements(
+        cfg.rounds as u64 * cfg.packets_per_round as u64,
+    ));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("zipf_overload/{shards}_shards"), |b| {
+            b.iter(|| black_box(run_shard_scale(black_box(&cfg), shards)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute_batch");
+    let qm_cfg = QmConfig::builder()
+        .num_flows(64)
+        .num_segments(4096)
+        .segment_bytes(64)
+        .build()
+        .unwrap();
+    // Round-trip batch: every flow gets one segment in, one segment out,
+    // so the engine returns to empty and each iteration sees the same
+    // state.
+    let batch: Vec<Command> = (0..64u32)
+        .map(|f| Command::Enqueue {
+            flow: FlowId::new(f),
+            data: vec![f as u8; 64],
+            pos: SegmentPosition::Only,
+        })
+        .chain((0..64u32).map(|f| Command::Dequeue {
+            flow: FlowId::new(f),
+        }))
+        .collect();
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for shards in [1usize, 4] {
+        group.bench_function(format!("roundtrip/{shards}_shards"), |b| {
+            let mut engine = ShardedQueueManager::new(qm_cfg, shards);
+            b.iter(|| black_box(engine.execute_batch(black_box(&batch))));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scale_sweep, bench_batch_grouping
+}
+criterion_main!(benches);

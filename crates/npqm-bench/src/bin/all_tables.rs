@@ -11,6 +11,7 @@ struct Summary {
     table4: Vec<(String, u64)>,
     table5: Vec<npqm_mms::perf::Table5Row>,
     table6: Vec<Table6Out>,
+    table7: Vec<Table7Out>,
     saturation_mpps: f64,
     saturation_gbps: f64,
 }
@@ -28,6 +29,7 @@ impl ToJson for Summary {
             ("table4", self.table4.to_json()),
             ("table5", self.table5.to_json()),
             ("table6", self.table6.to_json()),
+            ("table7", self.table7.to_json()),
             ("saturation_mpps", self.saturation_mpps.to_json()),
             ("saturation_gbps", self.saturation_gbps.to_json()),
         ])
@@ -54,6 +56,34 @@ impl ToJson for Table6Out {
             ("evicted_pkts", self.evicted_pkts.to_json()),
             ("goodput_gbps", self.goodput_gbps.to_json()),
             ("mean_latency_ns", self.mean_latency_ns.to_json()),
+        ])
+    }
+}
+
+struct Table7Out {
+    shards: usize,
+    admitted_pkts: u64,
+    dropped_pkts: u64,
+    delivered_pkts: u64,
+    segments_processed: u64,
+    segments_per_sec: f64,
+    speedup_vs_one_shard: f64,
+    torn_frames: u64,
+    conserved: bool,
+}
+
+impl ToJson for Table7Out {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("shards", (self.shards as u64).to_json()),
+            ("admitted_pkts", self.admitted_pkts.to_json()),
+            ("dropped_pkts", self.dropped_pkts.to_json()),
+            ("delivered_pkts", self.delivered_pkts.to_json()),
+            ("segments_processed", self.segments_processed.to_json()),
+            ("segments_per_sec", self.segments_per_sec.to_json()),
+            ("speedup_vs_one_shard", self.speedup_vs_one_shard.to_json()),
+            ("torn_frames", self.torn_frames.to_json()),
+            ("conserved", self.conserved.to_json()),
         ])
     }
 }
@@ -113,6 +143,27 @@ fn main() {
     })
     .collect();
 
+    eprintln!("running Table 7 (sharded engine scaling)...");
+    let sweep = npqm_traffic::scale::run_shard_sweep(
+        &npqm_traffic::scale::ShardScaleConfig::table7(),
+        &[1, 2, 4, 8],
+    );
+    let base = sweep[0].segments_per_sec();
+    let table7 = sweep
+        .iter()
+        .map(|r| Table7Out {
+            shards: r.shards,
+            admitted_pkts: r.admitted_pkts,
+            dropped_pkts: r.dropped_pkts,
+            delivered_pkts: r.delivered_pkts,
+            segments_processed: r.segments_processed,
+            segments_per_sec: r.segments_per_sec(),
+            speedup_vs_one_shard: r.segments_per_sec() / base,
+            torn_frames: r.torn_frames,
+            conserved: r.conserved,
+        })
+        .collect();
+
     let summary = Summary {
         table1,
         table2,
@@ -121,6 +172,7 @@ fn main() {
         table4,
         table5,
         table6,
+        table7,
         saturation_mpps: mpps.get(),
         saturation_gbps: gbps.get(),
     };

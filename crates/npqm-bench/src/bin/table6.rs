@@ -8,9 +8,55 @@
 //! thresholds — under the same Zipf-skewed on-off overload. Goodput is
 //! delivered payload over the whole run (arrivals plus backlog drain).
 
+//!
+//! `table6 --check` runs the machine-checkable golden gates instead of
+//! the pretty table: packet conservation and zero torn frames under
+//! every policy, and LQD goodput at least matching statically
+//! partitioned tail drop.
+
 use npqm_traffic::pipeline::{compare_policies, PipelineConfig};
 
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("table6 check: {what}: ok");
+    } else {
+        eprintln!("table6 check FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+fn run_check() {
+    let outcomes = compare_policies(&PipelineConfig::bursty_overload(42));
+    for o in &outcomes {
+        let r = &o.report;
+        check(
+            r.offered_pkts == r.delivered_pkts + r.dropped_pkts + r.evicted_pkts,
+            &format!("{}: packet conservation", o.policy),
+        );
+        check(
+            r.integrity_violations == 0,
+            &format!("{}: zero torn frames", o.policy),
+        );
+    }
+    let tail = &outcomes[0];
+    let lqd = &outcomes[1];
+    check(tail.policy == "tail-drop", "policy order: tail-drop first");
+    check(lqd.policy == "lqd", "policy order: lqd second");
+    check(
+        lqd.report.delivered_bytes >= tail.report.delivered_bytes,
+        &format!(
+            "lqd goodput >= tail-drop ({} vs {} bytes)",
+            lqd.report.delivered_bytes, tail.report.delivered_bytes
+        ),
+    );
+    println!("table6 check: PASS");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
     let cfg = PipelineConfig::bursty_overload(42);
     let outcomes = compare_policies(&cfg);
 

@@ -1,0 +1,259 @@
+//! Table 7 (ours): sharded batched-engine scaling — segments/sec versus
+//! shard count under the Zipf bursty-overload mix.
+//!
+//! The paper's MMS is a single pipelined engine; the scaling axis beyond
+//! it is *more engines* with flows partitioned across them. Each row runs
+//! the same command trace (Zipf 1.2 flow popularity, IMIX sizes,
+//! sustained overload through shard-local Choudhury–Hahne admission) on N
+//! independent engine shards and reports the composite rate
+//! `segments / critical path`, where the critical path is the busiest
+//! shard's measured busy time — the same multi-engine modeling convention
+//! as Table 2's "six engines" column. A second section drives the sharded
+//! closed-loop pipeline (arrivals → shard-local admission → per-shard
+//! scheduler → per-shard egress) and shows the per-shard goodput split.
+//!
+//! `table7 --check` runs the machine-checkable golden gates instead of
+//! the pretty table: byte-level conservation and zero torn frames on
+//! every row, monotone shard scaling, ≥ 2× the 1-shard rate at 4 shards,
+//! and packet conservation + frame integrity in the sharded closed loop.
+
+use npqm_core::policy::DynamicThreshold;
+use npqm_core::sched::DeficitRoundRobin;
+use npqm_traffic::pipeline::{run_sharded_pipeline, PipelineConfig};
+use npqm_traffic::scale::{run_shard_sweep, ShardScaleConfig, ShardScaleRow};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Minimum rate ratio between consecutive shard counts for "monotone"
+/// scaling: a strict ≥ 1.0 would flake on timing noise, so a doubling may
+/// lose at most 10 %.
+const MONOTONE_TOLERANCE: f64 = 0.9;
+
+/// The headline gate: 4 shards must at least double the 1-shard rate.
+const SPEEDUP_AT_4: f64 = 2.0;
+
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("table7 check: {what}: ok");
+    } else {
+        eprintln!("table7 check FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+fn run_rows() -> Vec<ShardScaleRow> {
+    run_shard_sweep(&ShardScaleConfig::table7(), &SHARD_COUNTS)
+}
+
+fn speedup(rows: &[ShardScaleRow], shards: usize) -> f64 {
+    let base = rows[0].segments_per_sec();
+    let row = rows
+        .iter()
+        .find(|r| r.shards == shards)
+        .expect("sweep covers this shard count");
+    row.segments_per_sec() / base
+}
+
+fn closed_loop() -> npqm_traffic::pipeline::ShardedPipelineReport {
+    run_sharded_pipeline(
+        &PipelineConfig::bursty_overload(42),
+        4,
+        |_| DynamicThreshold::new(2.0),
+        |_| DeficitRoundRobin::new(vec![1518; 16]),
+    )
+}
+
+/// Checks the deterministic gates — hard failures, never retried.
+fn check_determinism(rows: &[ShardScaleRow]) {
+    for r in rows {
+        check(
+            r.offered_pkts == r.admitted_pkts + r.dropped_pkts,
+            &format!("{} shards: every offered packet accounted", r.shards),
+        );
+        check(
+            r.conserved,
+            &format!(
+                "{} shards: byte-level conservation (admitted {} = drained {} + residual {})",
+                r.shards, r.admitted_bytes, r.drained_bytes, r.residual_bytes
+            ),
+        );
+        check(
+            r.torn_frames == 0,
+            &format!("{} shards: zero torn frames", r.shards),
+        );
+    }
+}
+
+/// Evaluates the wall-clock gates, returning the first failure.
+fn timing_gates(rows: &[ShardScaleRow]) -> Result<(), String> {
+    for w in rows.windows(2) {
+        let ratio = w[1].segments_per_sec() / w[0].segments_per_sec();
+        if ratio < MONOTONE_TOLERANCE {
+            return Err(format!(
+                "monotone scaling {}->{} shards (ratio {ratio:.2})",
+                w[0].shards, w[1].shards
+            ));
+        }
+    }
+    let s4 = speedup(rows, 4);
+    if s4 < SPEEDUP_AT_4 {
+        return Err(format!(
+            "4-shard speedup {s4:.2}x >= {SPEEDUP_AT_4:.1}x over 1 shard"
+        ));
+    }
+    Ok(())
+}
+
+fn run_check() {
+    let rows = run_rows();
+    check_determinism(&rows);
+    // The scaling gates measure wall clock; one preemption on a noisy
+    // shared runner can dent a single row with no code regression, so a
+    // failed timing gate earns exactly one fresh sweep (the
+    // deterministic gates above are never retried).
+    match timing_gates(&rows) {
+        Ok(()) => {
+            for w in rows.windows(2) {
+                println!(
+                    "table7 check: monotone scaling {}->{} shards (ratio {:.2}): ok",
+                    w[0].shards,
+                    w[1].shards,
+                    w[1].segments_per_sec() / w[0].segments_per_sec()
+                );
+            }
+            println!(
+                "table7 check: 4-shard speedup {:.2}x >= {SPEEDUP_AT_4:.1}x over 1 shard: ok",
+                speedup(&rows, 4)
+            );
+        }
+        Err(first) => {
+            eprintln!("table7 check: timing gate failed ({first}); retrying once on a fresh sweep");
+            let retry = run_rows();
+            check_determinism(&retry);
+            match timing_gates(&retry) {
+                Ok(()) => println!(
+                    "table7 check: timing gates: ok on retry (4-shard speedup {:.2}x)",
+                    speedup(&retry, 4)
+                ),
+                Err(second) => check(false, &second),
+            }
+        }
+    }
+
+    let loop_report = closed_loop();
+    for (s, sr) in loop_report.shards.iter().enumerate() {
+        check(
+            sr.offered_pkts == sr.delivered_pkts + sr.dropped_pkts + sr.evicted_pkts,
+            &format!("closed loop shard {s}: packet conservation"),
+        );
+        check(
+            sr.integrity_violations == 0,
+            &format!("closed loop shard {s}: frame integrity"),
+        );
+    }
+    let a = &loop_report.aggregate;
+    check(
+        a.offered_pkts == a.delivered_pkts + a.dropped_pkts + a.evicted_pkts,
+        "closed loop aggregate: packet conservation",
+    );
+    println!("table7 check: PASS");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        run_check();
+        return;
+    }
+
+    let cfg = ShardScaleConfig::table7();
+    let rows = run_rows();
+    println!("Table 7 (ours): sharded batched engine under Zipf bursty overload");
+    println!("=================================================================");
+    println!(
+        "workload: {} flows (Zipf {}), IMIX sizes, {} KiB aggregate buffer, \
+         shard-local C-H admission (alpha {}), {} rounds x {} packets, {:.0}% drain/round",
+        cfg.flows,
+        cfg.zipf_exponent,
+        cfg.total_segments as u64 * cfg.segment_bytes as u64 / 1024,
+        cfg.alpha,
+        cfg.rounds,
+        cfg.packets_per_round,
+        cfg.drain_fraction * 100.0,
+    );
+    println!(
+        "model: N independent engines; rate = segments processed / busiest engine's busy time"
+    );
+    println!();
+    println!(
+        "{:>6} {:>9} {:>9} {:>8} {:>10} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "shards",
+        "offered",
+        "admitted",
+        "dropped",
+        "delivered",
+        "segments",
+        "critical",
+        "serial",
+        "Mseg/s",
+        "speedup"
+    );
+    let base = rows[0].segments_per_sec();
+    for r in &rows {
+        println!(
+            "{:>6} {:>9} {:>9} {:>8} {:>10} {:>9} {:>8.2}ms {:>8.2}ms {:>8.2} {:>7.2}x",
+            r.shards,
+            r.offered_pkts,
+            r.admitted_pkts,
+            r.dropped_pkts,
+            r.delivered_pkts,
+            r.segments_processed,
+            r.critical_path.as_secs_f64() * 1e3,
+            r.serial_time.as_secs_f64() * 1e3,
+            r.segments_per_sec() / 1e6,
+            r.segments_per_sec() / base,
+        );
+        assert_eq!(r.torn_frames, 0, "{} shards: torn frames", r.shards);
+        assert!(r.conserved, "{} shards: conservation", r.shards);
+    }
+    println!();
+    println!(
+        "headline: {:.2}x at 4 shards, {:.2}x at 8 shards over the serialized 1-shard engine",
+        speedup(&rows, 4),
+        speedup(&rows, 8),
+    );
+
+    let loop_report = closed_loop();
+    println!();
+    println!("sharded closed loop (4 shards, table6's bursty-overload scenario):");
+    println!(
+        "{:>6} {:>9} {:>10} {:>8} {:>9} {:>12}",
+        "shard", "offered", "delivered", "dropped", "goodput", "mean delay"
+    );
+    for (s, sr) in loop_report.shards.iter().enumerate() {
+        println!(
+            "{:>6} {:>9} {:>10} {:>8} {:>8.3}G {:>10.1}us",
+            s,
+            sr.offered_pkts,
+            sr.delivered_pkts,
+            sr.dropped_pkts + sr.evicted_pkts,
+            sr.goodput_gbps(),
+            sr.latency_ns.mean() / 1000.0,
+        );
+        assert_eq!(sr.integrity_violations, 0, "shard {s}: torn frames");
+    }
+    let a = &loop_report.aggregate;
+    println!(
+        "{:>6} {:>9} {:>10} {:>8} {:>8.3}G {:>10.1}us",
+        "all",
+        a.offered_pkts,
+        a.delivered_pkts,
+        a.dropped_pkts + a.evicted_pkts,
+        a.goodput_gbps(),
+        a.latency_ns.mean() / 1000.0,
+    );
+    assert_eq!(
+        a.offered_pkts,
+        a.delivered_pkts + a.dropped_pkts + a.evicted_pkts,
+        "aggregate packet conservation"
+    );
+}

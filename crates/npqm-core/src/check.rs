@@ -38,6 +38,12 @@ pub struct InvariantReport {
     pub packets_used: u32,
     /// Packet records found on the free list.
     pub packets_free: u32,
+    /// Payload bytes found queued, summed over the walked segment chains.
+    ///
+    /// This is the byte occupancy *proven by the walk* (not read from the
+    /// queue-table counters), which is what cross-shard conservation
+    /// checks compare against admission/delivery ledgers.
+    pub payload_bytes: u64,
 }
 
 fn violation<T>(what: impl Into<String>) -> Result<T, InvariantViolation> {
@@ -69,6 +75,7 @@ pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> 
     let pm = &qm.ptr;
     let mut used_segs: HashSet<SegmentId> = HashSet::new();
     let mut used_pkts: HashSet<PacketId> = HashSet::new();
+    let mut payload_bytes = 0u64;
 
     for f in 0..cfg.num_flows() {
         let flow = FlowId::new(f);
@@ -196,6 +203,7 @@ pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> 
         if q.open && q.tail_pkt.is_nil() {
             return violation(format!("{flow}: open queue without a tail packet"));
         }
+        payload_bytes += bytes;
     }
 
     // Free lists must exactly cover the rest of both index spaces.
@@ -257,6 +265,7 @@ pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> 
         segments_free: free_seg_set.len() as u32,
         packets_used: used_pkts.len() as u32,
         packets_free: free_pkt_set.len() as u32,
+        payload_bytes,
     })
 }
 
@@ -286,6 +295,7 @@ mod tests {
         assert_eq!(report.segments_used, 16); // 2 per packet
         assert_eq!(report.packets_used, 8);
         assert_eq!(report.segments_free, 512 - 16);
+        assert_eq!(report.payload_bytes, 8 * 100);
     }
 
     #[test]

@@ -127,6 +127,42 @@ impl Command {
         }
     }
 
+    /// The flow whose queue the command primarily targets (the source
+    /// queue for the two-queue move/copy commands).
+    ///
+    /// Together with [`Command::secondary_flow`] this is the routing key a
+    /// sharded engine uses to dispatch commands to the engine owning the
+    /// flow — see [`crate::shard::ShardedQueueManager`].
+    pub const fn primary_flow(&self) -> FlowId {
+        match *self {
+            Command::Enqueue { flow, .. }
+            | Command::Dequeue { flow }
+            | Command::Read { flow }
+            | Command::Overwrite { flow, .. }
+            | Command::OverwriteLen { flow, .. }
+            | Command::DeleteSegment { flow }
+            | Command::DeletePacket { flow }
+            | Command::AppendHead { flow, .. }
+            | Command::AppendTail { flow, .. } => flow,
+            Command::Move { src, .. }
+            | Command::Copy { src, .. }
+            | Command::OverwriteAndMove { src, .. }
+            | Command::OverwriteLenAndMove { src, .. } => src,
+        }
+    }
+
+    /// The second queue a two-queue command touches (the move/copy
+    /// destination), or `None` for single-queue commands.
+    pub const fn secondary_flow(&self) -> Option<FlowId> {
+        match *self {
+            Command::Move { dst, .. }
+            | Command::Copy { dst, .. }
+            | Command::OverwriteAndMove { dst, .. }
+            | Command::OverwriteLenAndMove { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
     /// Whether the command transfers segment payload to or from the data
     /// memory (and therefore costs a DRAM burst in the timing models).
     pub const fn touches_data_memory(&self) -> bool {
@@ -273,6 +309,61 @@ mod tests {
             "Overwrite_Segment&Move"
         );
         assert_eq!(Command::DeleteSegment { flow: f }.name(), "Delete");
+    }
+
+    #[test]
+    fn routing_flows_cover_every_variant() {
+        let a = FlowId::new(3);
+        let b = FlowId::new(9);
+        let one_queue: [Command; 9] = [
+            Command::Enqueue {
+                flow: a,
+                data: vec![1],
+                pos: SegmentPosition::Only,
+            },
+            Command::Dequeue { flow: a },
+            Command::Read { flow: a },
+            Command::Overwrite {
+                flow: a,
+                data: vec![1],
+            },
+            Command::OverwriteLen {
+                flow: a,
+                new_len: 1,
+            },
+            Command::DeleteSegment { flow: a },
+            Command::DeletePacket { flow: a },
+            Command::AppendHead {
+                flow: a,
+                data: vec![1],
+            },
+            Command::AppendTail {
+                flow: a,
+                data: vec![1],
+            },
+        ];
+        for cmd in &one_queue {
+            assert_eq!(cmd.primary_flow(), a, "{}", cmd.name());
+            assert_eq!(cmd.secondary_flow(), None, "{}", cmd.name());
+        }
+        let two_queue: [Command; 4] = [
+            Command::Move { src: a, dst: b },
+            Command::Copy { src: a, dst: b },
+            Command::OverwriteAndMove {
+                src: a,
+                dst: b,
+                data: vec![1],
+            },
+            Command::OverwriteLenAndMove {
+                src: a,
+                dst: b,
+                new_len: 1,
+            },
+        ];
+        for cmd in &two_queue {
+            assert_eq!(cmd.primary_flow(), a, "{}", cmd.name());
+            assert_eq!(cmd.secondary_flow(), Some(b), "{}", cmd.name());
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod pool;
 pub mod ptrmem;
 pub mod sar;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 
 pub use command::{Command, Outcome};
@@ -65,4 +66,5 @@ pub use id::{FlowId, PacketId, SegmentId};
 pub use manager::{DequeuedSegment, QueueManager, SegmentPosition};
 pub use policy::{Admission, DropPolicy, DynamicThreshold, LongestQueueDrop, Refusal};
 pub use sar::{Reassembler, Segmenter};
+pub use shard::{ShardedAdmission, ShardedInvariantReport, ShardedQueueManager};
 pub use stats::QmStats;

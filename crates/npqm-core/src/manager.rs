@@ -218,6 +218,16 @@ impl QueueManager {
         self.seg_fl.low_watermark()
     }
 
+    /// Number of free packet records in the pointer memory.
+    ///
+    /// Callers that stage a multi-step operation (e.g. the cross-shard
+    /// move of [`crate::shard::ShardedQueueManager`]) use this together
+    /// with [`QueueManager::free_segments`] to reserve capacity up front,
+    /// the same way [`QueueManager::copy_packet`] does internally.
+    pub fn free_packet_records(&self) -> u32 {
+        self.pkt_fl.free_count()
+    }
+
     fn check_flow(&self, flow: FlowId) -> Result<(), QueueError> {
         if flow.index() >= self.cfg.num_flows() {
             return Err(QueueError::UnknownFlow {
@@ -996,6 +1006,58 @@ impl QueueManager {
         Some(self.ptr.pkt_silent(q.head_pkt).bytes as u64)
     }
 
+    /// Whether the head packet of `flow` is partially consumed
+    /// (mid-service: some of its segments were already dequeued).
+    ///
+    /// Returns `false` for empty queues and out-of-range flows. Used by
+    /// callers that must respect the mid-service movement rules of
+    /// [`QueueManager::move_packet`] without dequeuing anything — a
+    /// packet's remainder re-queued elsewhere would later be served as if
+    /// it were a whole frame.
+    pub fn head_in_service(&self, flow: FlowId) -> bool {
+        if flow.index() >= self.cfg.num_flows() {
+            return false;
+        }
+        let q = self.ptr.queue_silent(flow);
+        if q.head_pkt.is_nil() {
+            return false;
+        }
+        self.ptr.pkt_silent(q.head_pkt).started
+    }
+
+    /// Reads the whole head packet of `flow` without consuming it,
+    /// concatenating its segments (a packet-granular
+    /// [`QueueManager::read_head`]).
+    ///
+    /// Only complete packets can be peeked: the open (mid-SAR) tail is
+    /// never visible, exactly as for [`QueueManager::copy_packet`] — this
+    /// is the read half that cross-shard copies are built from, where the
+    /// destination lives in a different engine's data memory.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`] when no complete packet is queued;
+    /// [`QueueError::UnknownFlow`].
+    pub fn peek_packet(&mut self, flow: FlowId) -> Result<Vec<u8>, QueueError> {
+        if let Err(e) = self.check_flow(flow) {
+            return self.fail(e);
+        }
+        let q = self.ptr.queue(flow);
+        if q.head_pkt.is_nil() || (q.open && q.head_pkt == q.tail_pkt) {
+            return self.fail(QueueError::QueueEmpty { flow });
+        }
+        let pr = self.ptr.pkt(q.head_pkt);
+        let mut out = Vec::with_capacity(pr.bytes as usize);
+        let mut cur = pr.first;
+        while !cur.is_nil() {
+            let rec = self.ptr.seg(cur);
+            out.extend_from_slice(self.data.read(cur, rec.len as usize));
+            cur = rec.next;
+        }
+        self.stats.reads += 1;
+        Ok(out)
+    }
+
     /// Copies the head packet of `src` onto the tail of `dst`, allocating
     /// fresh segments (the "copy operations" of the early ATM queue
     /// managers the paper's §2 surveys — used for multicast/mirroring).
@@ -1431,6 +1493,60 @@ mod tests {
         m.dequeue_packet(f).unwrap();
         assert_eq!(m.head_packet_bytes(f), Some(300));
         assert_eq!(m.head_packet_bytes(FlowId::new(1_000_000)), None);
+    }
+
+    #[test]
+    fn peek_packet_reads_without_consuming() {
+        let mut m = qm();
+        let f = FlowId::new(4);
+        let pkt: Vec<u8> = (0..150).map(|i| i as u8).collect();
+        m.enqueue_packet(f, &pkt).unwrap();
+        assert_eq!(m.peek_packet(f).unwrap(), pkt);
+        assert_eq!(m.queue_len_segments(f), 3, "peek must not consume");
+        assert_eq!(m.dequeue_packet(f).unwrap(), pkt);
+        assert!(matches!(
+            m.peek_packet(f),
+            Err(QueueError::QueueEmpty { .. })
+        ));
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn peek_packet_hides_the_open_tail() {
+        let mut m = qm();
+        let f = FlowId::new(0);
+        m.enqueue(f, &[1; 64], SegmentPosition::First).unwrap();
+        assert!(matches!(
+            m.peek_packet(f),
+            Err(QueueError::QueueEmpty { .. })
+        ));
+        m.enqueue(f, &[2; 8], SegmentPosition::Last).unwrap();
+        assert_eq!(m.peek_packet(f).unwrap().len(), 72);
+    }
+
+    #[test]
+    fn head_in_service_tracks_partial_consumption() {
+        let mut m = qm();
+        let f = FlowId::new(1);
+        assert!(!m.head_in_service(f), "empty queue has no served head");
+        m.enqueue_packet(f, &[3u8; 130]).unwrap(); // 3 segments
+        assert!(!m.head_in_service(f));
+        m.dequeue(f).unwrap();
+        assert!(m.head_in_service(f), "one segment gone, head mid-service");
+        m.dequeue(f).unwrap();
+        m.dequeue(f).unwrap();
+        assert!(!m.head_in_service(f), "packet fully served");
+        assert!(!m.head_in_service(FlowId::new(1_000_000)));
+    }
+
+    #[test]
+    fn free_packet_records_follow_allocation() {
+        let mut m = qm();
+        let total = m.free_packet_records();
+        m.enqueue_packet(FlowId::new(0), &[0u8; 200]).unwrap();
+        assert_eq!(m.free_packet_records(), total - 1);
+        m.dequeue_packet(FlowId::new(0)).unwrap();
+        assert_eq!(m.free_packet_records(), total);
     }
 
     #[test]

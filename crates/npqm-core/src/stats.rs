@@ -47,6 +47,45 @@ pub struct QmStats {
 }
 
 impl QmStats {
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// Used to aggregate the per-shard statistics of a
+    /// [`crate::shard::ShardedQueueManager`] into one engine-wide view.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use npqm_core::QmStats;
+    /// let mut a = QmStats {
+    ///     enqueues: 2,
+    ///     bytes_in: 100,
+    ///     ..QmStats::default()
+    /// };
+    /// let b = QmStats {
+    ///     enqueues: 3,
+    ///     bytes_in: 50,
+    ///     ..QmStats::default()
+    /// };
+    /// a.absorb(&b);
+    /// assert_eq!(a.enqueues, 5);
+    /// assert_eq!(a.bytes_in, 150);
+    /// ```
+    pub fn absorb(&mut self, other: &QmStats) {
+        self.enqueues += other.enqueues;
+        self.dequeues += other.dequeues;
+        self.reads += other.reads;
+        self.overwrites += other.overwrites;
+        self.len_overwrites += other.len_overwrites;
+        self.seg_deletes += other.seg_deletes;
+        self.pkt_deletes += other.pkt_deletes;
+        self.head_appends += other.head_appends;
+        self.tail_appends += other.tail_appends;
+        self.moves += other.moves;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.errors += other.errors;
+    }
+
     /// Total successful operations.
     pub fn total_ops(&self) -> u64 {
         self.enqueues
@@ -89,5 +128,30 @@ mod tests {
     #[test]
     fn default_is_zero() {
         assert_eq!(QmStats::default().total_ops(), 0);
+    }
+
+    #[test]
+    fn absorb_adds_every_field() {
+        let one = QmStats {
+            enqueues: 1,
+            dequeues: 2,
+            reads: 3,
+            overwrites: 4,
+            len_overwrites: 5,
+            seg_deletes: 6,
+            pkt_deletes: 7,
+            head_appends: 8,
+            tail_appends: 9,
+            moves: 10,
+            bytes_in: 11,
+            bytes_out: 12,
+            errors: 13,
+        };
+        let mut acc = one;
+        acc.absorb(&one);
+        assert_eq!(acc.total_ops(), 2 * one.total_ops());
+        assert_eq!(acc.bytes_in, 22);
+        assert_eq!(acc.bytes_out, 24);
+        assert_eq!(acc.errors, 26);
     }
 }

@@ -1,0 +1,233 @@
+//! Property tests: batched execution on the sharded engine is
+//! behaviourally identical to one-by-one command replay.
+//!
+//! Two equivalences are checked over random command vectors (including
+//! error paths: empty queues, SAR-protocol violations, cross-queue moves
+//! and copies):
+//!
+//! 1. a **single-shard** [`ShardedQueueManager`] executing a batch yields
+//!    byte-identical outcomes *and counters* to replaying the same
+//!    commands one-by-one on a plain [`QueueManager`];
+//! 2. a **multi-shard** engine executing a batch (per-shard grouping,
+//!    cross-shard barriers) matches the same engine fed one command at a
+//!    time.
+
+use npqm_core::manager::SegmentPosition;
+use npqm_core::shard::ShardedQueueManager;
+use npqm_core::{Command, FlowId, QmConfig, QueueManager};
+use proptest::prelude::*;
+
+const FLOWS: u32 = 8;
+
+/// Abstract operation, materialized into one or more [`Command`]s.
+#[derive(Debug, Clone)]
+enum Op {
+    EnqueueOnly { flow: u32, len: usize },
+    EnqueuePacket { flow: u32, len: usize },
+    StrayMiddle { flow: u32 },
+    Dequeue { flow: u32 },
+    Read { flow: u32 },
+    Overwrite { flow: u32, len: usize },
+    OverwriteLen { flow: u32, len: u16 },
+    DeleteSegment { flow: u32 },
+    DeletePacket { flow: u32 },
+    AppendHead { flow: u32, len: usize },
+    AppendTail { flow: u32, len: usize },
+    Move { src: u32, dst: u32 },
+    Copy { src: u32, dst: u32 },
+    OverwriteAndMove { src: u32, dst: u32, len: usize },
+    OverwriteLenAndMove { src: u32, dst: u32, len: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..FLOWS, 1usize..64).prop_map(|(flow, len)| Op::EnqueueOnly { flow, len }),
+        (0..FLOWS, 1usize..200).prop_map(|(flow, len)| Op::EnqueuePacket { flow, len }),
+        (0..FLOWS).prop_map(|flow| Op::StrayMiddle { flow }),
+        (0..FLOWS).prop_map(|flow| Op::Dequeue { flow }),
+        (0..FLOWS).prop_map(|flow| Op::Read { flow }),
+        (0..FLOWS, 1usize..64).prop_map(|(flow, len)| Op::Overwrite { flow, len }),
+        (0..FLOWS, 1u16..80).prop_map(|(flow, len)| Op::OverwriteLen { flow, len }),
+        (0..FLOWS).prop_map(|flow| Op::DeleteSegment { flow }),
+        (0..FLOWS).prop_map(|flow| Op::DeletePacket { flow }),
+        (0..FLOWS, 1usize..32).prop_map(|(flow, len)| Op::AppendHead { flow, len }),
+        (0..FLOWS, 1usize..32).prop_map(|(flow, len)| Op::AppendTail { flow, len }),
+        (0..FLOWS, 0..FLOWS).prop_map(|(src, dst)| Op::Move { src, dst }),
+        (0..FLOWS, 0..FLOWS).prop_map(|(src, dst)| Op::Copy { src, dst }),
+        (0..FLOWS, 0..FLOWS, 1usize..64).prop_map(|(src, dst, len)| Op::OverwriteAndMove {
+            src,
+            dst,
+            len
+        }),
+        (0..FLOWS, 0..FLOWS, 1u16..80).prop_map(|(src, dst, len)| Op::OverwriteLenAndMove {
+            src,
+            dst,
+            len
+        }),
+    ]
+}
+
+fn payload(tag: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (tag as usize).wrapping_add(i) as u8)
+        .collect()
+}
+
+/// Expands abstract ops into concrete commands with tagged payloads.
+fn materialize(ops: &[Op]) -> Vec<Command> {
+    let mut cmds = Vec::new();
+    let mut tag = 0u64;
+    for op in ops {
+        tag += 1;
+        match *op {
+            Op::EnqueueOnly { flow, len } => cmds.push(Command::Enqueue {
+                flow: FlowId::new(flow),
+                data: payload(tag, len),
+                pos: SegmentPosition::Only,
+            }),
+            Op::EnqueuePacket { flow, len } => {
+                let data = payload(tag, len);
+                let n = data.len().div_ceil(64);
+                for (i, chunk) in data.chunks(64).enumerate() {
+                    cmds.push(Command::Enqueue {
+                        flow: FlowId::new(flow),
+                        data: chunk.to_vec(),
+                        pos: SegmentPosition::from_flags(i == 0, i == n - 1),
+                    });
+                }
+            }
+            Op::StrayMiddle { flow } => cmds.push(Command::Enqueue {
+                flow: FlowId::new(flow),
+                data: payload(tag, 16),
+                pos: SegmentPosition::Middle,
+            }),
+            Op::Dequeue { flow } => cmds.push(Command::Dequeue {
+                flow: FlowId::new(flow),
+            }),
+            Op::Read { flow } => cmds.push(Command::Read {
+                flow: FlowId::new(flow),
+            }),
+            Op::Overwrite { flow, len } => cmds.push(Command::Overwrite {
+                flow: FlowId::new(flow),
+                data: payload(tag, len),
+            }),
+            Op::OverwriteLen { flow, len } => cmds.push(Command::OverwriteLen {
+                flow: FlowId::new(flow),
+                new_len: len,
+            }),
+            Op::DeleteSegment { flow } => cmds.push(Command::DeleteSegment {
+                flow: FlowId::new(flow),
+            }),
+            Op::DeletePacket { flow } => cmds.push(Command::DeletePacket {
+                flow: FlowId::new(flow),
+            }),
+            Op::AppendHead { flow, len } => cmds.push(Command::AppendHead {
+                flow: FlowId::new(flow),
+                data: payload(tag, len),
+            }),
+            Op::AppendTail { flow, len } => cmds.push(Command::AppendTail {
+                flow: FlowId::new(flow),
+                data: payload(tag, len),
+            }),
+            Op::Move { src, dst } => cmds.push(Command::Move {
+                src: FlowId::new(src),
+                dst: FlowId::new(dst),
+            }),
+            Op::Copy { src, dst } => cmds.push(Command::Copy {
+                src: FlowId::new(src),
+                dst: FlowId::new(dst),
+            }),
+            Op::OverwriteAndMove { src, dst, len } => cmds.push(Command::OverwriteAndMove {
+                src: FlowId::new(src),
+                dst: FlowId::new(dst),
+                data: payload(tag, len),
+            }),
+            Op::OverwriteLenAndMove { src, dst, len } => cmds.push(Command::OverwriteLenAndMove {
+                src: FlowId::new(src),
+                dst: FlowId::new(dst),
+                new_len: len,
+            }),
+        }
+    }
+    cmds
+}
+
+fn small_cfg() -> QmConfig {
+    QmConfig::builder()
+        .num_flows(FLOWS)
+        .num_segments(128)
+        .segment_bytes(64)
+        .build()
+        .unwrap()
+}
+
+/// Compares every externally observable queue dimension of two engines.
+fn assert_same_queues(a: &QueueManager, b: &QueueManager) {
+    for f in 0..FLOWS {
+        let flow = FlowId::new(f);
+        assert_eq!(a.queue_len_segments(flow), b.queue_len_segments(flow));
+        assert_eq!(a.queue_len_packets(flow), b.queue_len_packets(flow));
+        assert_eq!(a.queue_len_bytes(flow), b.queue_len_bytes(flow));
+        assert_eq!(a.complete_packets(flow), b.complete_packets(flow));
+        assert_eq!(a.head_packet_bytes(flow), b.head_packet_bytes(flow));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A 1-shard batched engine is the plain engine: identical outcomes
+    /// (every dequeued byte), identical counters, identical final state.
+    #[test]
+    fn single_shard_batch_equals_plain_replay(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let cmds = materialize(&ops);
+        let mut sharded = ShardedQueueManager::new(small_cfg(), 1);
+        let mut plain = QueueManager::new(small_cfg());
+
+        let batch = sharded.execute_batch(&cmds);
+        let serial: Vec<_> = cmds.iter().map(|c| plain.execute(c.clone())).collect();
+
+        prop_assert_eq!(&batch, &serial, "outcomes must be byte-identical");
+        prop_assert_eq!(&sharded.stats(), plain.stats(), "counters must match");
+        assert_same_queues(sharded.shard(0), &plain);
+        sharded.verify().unwrap();
+        plain.verify().unwrap();
+
+        // The drained remainder is identical too: dequeue everything.
+        for f in 0..FLOWS {
+            let flow = FlowId::new(f);
+            loop {
+                let x = sharded.shard_mut(0).dequeue(flow);
+                let y = plain.dequeue(flow);
+                prop_assert_eq!(&x, &y);
+                if x.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A multi-shard batch (per-shard grouping + cross-shard barriers)
+    /// matches the same engine executing one command at a time.
+    #[test]
+    fn multi_shard_batch_equals_sequential(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let cmds = materialize(&ops);
+        let mut batched = ShardedQueueManager::new(small_cfg(), 4);
+        let mut serial = ShardedQueueManager::new(small_cfg(), 4);
+
+        let a = batched.execute_batch(&cmds);
+        let b: Vec<_> = cmds.iter().map(|c| serial.execute(c.clone())).collect();
+
+        prop_assert_eq!(&a, &b, "outcomes must be byte-identical");
+        prop_assert_eq!(batched.stats(), serial.stats());
+        for s in 0..4 {
+            assert_same_queues(batched.shard(s), serial.shard(s));
+        }
+        batched.verify().unwrap();
+        serial.verify().unwrap();
+    }
+}

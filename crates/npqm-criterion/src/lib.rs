@@ -17,10 +17,38 @@
 //! per-iteration time across `sample_size` samples, plus the derived
 //! element/byte rate when a [`Throughput`] was set. There are no HTML
 //! reports, statistical regressions, or outlier analysis.
+//!
+//! # Smoke mode
+//!
+//! Like the real criterion's `cargo bench -- --test`, passing `--test`
+//! on the bench binary's command line (or setting the
+//! `NPQM_BENCH_SMOKE` environment variable) clamps every benchmark to a
+//! tiny iteration budget: each routine is still exercised end to end —
+//! so CI catches benches that panic or no longer compile against the
+//! models — but no meaningful time is spent measuring. The `bench-smoke`
+//! stage of `ci.sh` runs every bench this way.
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Whether this process runs benches in smoke mode (see the crate docs).
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| {
+        std::env::args().any(|a| a == "--test") || std::env::var_os("NPQM_BENCH_SMOKE").is_some()
+    })
+}
+
+/// The timing policy smoke mode substitutes for every benchmark.
+fn smoke_policy() -> Criterion {
+    Criterion {
+        warm_up: Duration::from_millis(1),
+        measurement: Duration::from_millis(10),
+        sample_size: 2,
+    }
+}
 
 /// Work performed per iteration, used to derive a rate from the median time.
 #[derive(Debug, Clone, Copy)]
@@ -229,8 +257,13 @@ fn median(times: &mut [Duration]) -> Duration {
 }
 
 fn run_one<F: FnOnce(&mut Bencher)>(policy: &Criterion, label: &str, f: F) -> Option<Duration> {
+    let effective = if smoke_mode() {
+        smoke_policy()
+    } else {
+        policy.clone()
+    };
     let mut b = Bencher {
-        policy,
+        policy: &effective,
         median: None,
     };
     f(&mut b);

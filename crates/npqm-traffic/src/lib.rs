@@ -15,7 +15,14 @@
 //! * [`pipeline`] — the closed-loop simulation: traffic through a
 //!   pluggable drop policy into [`npqm_core::QueueManager`], drained by a
 //!   scheduler at a configurable egress rate (the drop-policy experiments
-//!   of `table6` run on this);
+//!   of `table6` run on this). The loop also drives a *sharded* engine —
+//!   flows partitioned across independent
+//!   [`npqm_core::shard::ShardedQueueManager`] shards, each with its own
+//!   admission policy, scheduler and egress server — with per-shard and
+//!   aggregate reports;
+//! * [`scale`] — the shard-scaling throughput experiment behind
+//!   `table7`: segments/sec versus shard count under the Zipf
+//!   bursty-overload mix, with a full conservation/torn-frame ledger;
 //! * [`apps`] — the six paper applications implemented over
 //!   [`npqm_core::QueueManager`], used by the examples and integration
 //!   tests.
@@ -45,6 +52,7 @@ pub mod arrival;
 pub mod flows;
 pub mod packet;
 pub mod pipeline;
+pub mod scale;
 pub mod size;
 pub mod trace;
 

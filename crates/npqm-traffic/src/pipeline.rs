@@ -42,6 +42,7 @@ use crate::size::SizeDistribution;
 use npqm_core::limits::{BufferManager, FlowLimits};
 use npqm_core::policy::{DropPolicy, DynamicThreshold, LongestQueueDrop};
 use npqm_core::sched::{DeficitRoundRobin, FlowScheduler};
+use npqm_core::shard::{ShardedAdmission, ShardedQueueManager};
 use npqm_core::{FlowId, QmConfig, QueueManager};
 use npqm_sim::rng::Xoshiro256pp;
 use npqm_sim::stats::MeanVar;
@@ -193,12 +194,14 @@ impl PipelineReport {
     }
 }
 
-/// Events of the closed loop: a packet arrives, or the egress server
-/// finishes transmitting one.
+/// Events of the closed loop: a packet arrives, or one of the egress
+/// servers (one per shard; the dense pipeline uses shard 0 only)
+/// finishes transmitting a packet.
 #[derive(Debug, Clone)]
 enum Ev {
     Arrival,
     TxDone {
+        shard: usize,
         flow: FlowId,
         bytes: u32,
         enqueued_at: Picos,
@@ -220,6 +223,13 @@ struct Slot {
 ///
 /// Arrivals stop at `cfg.duration`; the loop then runs until the backlog
 /// has fully drained, so admitted ≡ delivered + evicted at return.
+///
+/// This loop and [`run_sharded_pipeline`]'s are deliberate twins (the
+/// sharded one threads a shard index through admission, scheduling and
+/// egress); a fix to arrival/eviction/ledger handling here almost
+/// certainly belongs there too, and the test
+/// `one_shard_pipeline_matches_the_dense_pipeline` pins the two loops
+/// together.
 pub fn run_pipeline<P, S>(cfg: &PipelineConfig, policy: &mut P, sched: &mut S) -> PipelineReport
 where
     P: DropPolicy + ?Sized,
@@ -305,7 +315,8 @@ where
                         sched,
                         &mut ledger,
                         &mut ev,
-                        cfg,
+                        cfg.egress_gbps,
+                        0,
                         &mut report.integrity_violations,
                     );
                 }
@@ -314,6 +325,7 @@ where
                 flow,
                 bytes,
                 enqueued_at,
+                ..
             } => {
                 let fr = &mut report.flows[flow.as_usize()];
                 fr.delivered_pkts += 1;
@@ -324,7 +336,8 @@ where
                     sched,
                     &mut ledger,
                     &mut ev,
-                    cfg,
+                    cfg.egress_gbps,
+                    0,
                     &mut report.integrity_violations,
                 );
             }
@@ -350,14 +363,15 @@ where
 
 /// Asks the scheduler for the next flow and, if one is ready, dequeues
 /// its head packet, verifies it against the ledger (length and marker
-/// byte) and schedules the transmit-done event. Returns whether the
-/// server is now busy.
+/// byte) and schedules the transmit-done event for `shard`'s server at
+/// line rate `gbps`. Returns whether that server is now busy.
 fn start_service<S: FlowScheduler + ?Sized>(
     qm: &mut QueueManager,
     sched: &mut S,
     ledger: &mut [VecDeque<Slot>],
     ev: &mut EventQueue<Ev>,
-    cfg: &PipelineConfig,
+    gbps: f64,
+    shard: usize,
     integrity_violations: &mut u64,
 ) -> bool {
     let Some(flow) = sched.next_flow(qm) else {
@@ -374,16 +388,246 @@ fn start_service<S: FlowScheduler + ?Sized>(
         *integrity_violations += 1;
     }
     // Transmission time at the egress line rate.
-    let tx_ps = (pkt.len() as f64 * 8.0 * 1000.0 / cfg.egress_gbps).round() as u64;
+    let tx_ps = (pkt.len() as f64 * 8.0 * 1000.0 / gbps).round() as u64;
     ev.schedule_in(
         Picos::new(tx_ps.max(1)),
         Ev::TxDone {
+            shard,
             flow,
             bytes: pkt.len() as u32,
             enqueued_at: slot.enqueued_at,
         },
     );
     true
+}
+
+/// Outcome of a [`run_sharded_pipeline`] run: the per-shard closed-loop
+/// reports plus their aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedPipelineReport {
+    /// Per-shard reports. Each report's `flows` vector is indexed by the
+    /// *global* flow id; flows homed on other shards stay zero.
+    pub shards: Vec<PipelineReport>,
+    /// Sums over all shards (per-flow entries merged by flow id).
+    pub aggregate: PipelineReport,
+    /// Home shard of each flow, as routed by
+    /// [`ShardedQueueManager::shard_of`].
+    pub shard_of_flow: Vec<usize>,
+}
+
+/// Runs the closed loop against a **sharded** engine: arrivals are routed
+/// to their home shard, admitted by that shard's own [`DropPolicy`]
+/// (shard-local thresholds), and each shard drains through its own
+/// [`FlowScheduler`] and egress server at `cfg.egress_gbps / num_shards`.
+/// The *aggregate* line capacity equals the dense pipeline's, but it is
+/// statically partitioned, exactly like per-engine line cards: a shard
+/// whose egress idles (e.g. the hash homed no flow of a small mix on it)
+/// cannot lend its capacity to a loaded shard, so sharded goodput can
+/// trail the dense pipeline's under skew — that partitioning penalty is
+/// part of what the per-shard reports make visible.
+///
+/// `mk_policy(shard)` and `mk_sched(shard)` build each shard's policy and
+/// scheduler. The per-packet marker/length ledger is global (a flow lives
+/// in exactly one shard), so torn or cross-linked frames are detected
+/// across shards exactly as in [`run_pipeline`].
+///
+/// Arrivals stop at `cfg.duration`; the loop then drains every shard's
+/// backlog, so per shard and in aggregate
+/// `offered == delivered + dropped + evicted` at return.
+///
+/// # Panics
+///
+/// Panics if the flow mix draws flows outside the engine's flow table,
+/// the egress rate is not positive, or the per-shard buffer would be
+/// empty.
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::policy::DynamicThreshold;
+/// use npqm_core::sched::DeficitRoundRobin;
+/// use npqm_traffic::pipeline::{run_sharded_pipeline, PipelineConfig};
+///
+/// let cfg = PipelineConfig::small_demo(7);
+/// let r = run_sharded_pipeline(
+///     &cfg,
+///     2,
+///     |_| DynamicThreshold::new(2.0),
+///     |_| DeficitRoundRobin::new(vec![1518; 4]),
+/// );
+/// assert_eq!(r.aggregate.integrity_violations, 0);
+/// assert_eq!(
+///     r.aggregate.offered_pkts,
+///     r.aggregate.delivered_pkts + r.aggregate.dropped_pkts + r.aggregate.evicted_pkts
+/// );
+/// ```
+pub fn run_sharded_pipeline<P, S>(
+    cfg: &PipelineConfig,
+    num_shards: usize,
+    mk_policy: impl FnMut(usize) -> P,
+    mk_sched: impl FnMut(usize) -> S,
+) -> ShardedPipelineReport
+where
+    P: DropPolicy,
+    S: FlowScheduler,
+{
+    let flows = cfg.mix.flows();
+    assert!(
+        flows <= cfg.qm.num_flows(),
+        "flow mix draws flows outside the engine's flow table"
+    );
+    assert!(cfg.egress_gbps > 0.0, "egress rate must be positive");
+
+    let mut engine = ShardedQueueManager::partitioned(cfg.qm, num_shards)
+        .expect("per-shard buffer must be non-empty");
+    let mut adm = ShardedAdmission::from_fn(num_shards, mk_policy);
+    let mut scheds: Vec<S> = (0..num_shards).map(mk_sched).collect();
+    let per_shard_gbps = cfg.egress_gbps / num_shards as f64;
+
+    let mut arrivals = ArrivalGen::new(cfg.arrivals, cfg.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut ev: EventQueue<Ev> = EventQueue::new();
+    let mut report = ShardedPipelineReport {
+        shards: (0..num_shards)
+            .map(|_| PipelineReport {
+                flows: (0..flows).map(|_| FlowReport::default()).collect(),
+                ..PipelineReport::default()
+            })
+            .collect(),
+        aggregate: PipelineReport {
+            flows: (0..flows).map(|_| FlowReport::default()).collect(),
+            ..PipelineReport::default()
+        },
+        shard_of_flow: (0..flows)
+            .map(|f| engine.shard_of(FlowId::new(f)))
+            .collect(),
+    };
+    let mut ledger: Vec<VecDeque<Slot>> = (0..flows).map(|_| VecDeque::new()).collect();
+    let mut payload = vec![0xA5u8; cfg.sizes.max_bytes() as usize];
+    let mut seq = 0u64;
+    let mut server_busy = vec![false; num_shards];
+
+    let first = arrivals.next_arrival();
+    if first <= cfg.duration {
+        ev.schedule(first, Ev::Arrival);
+    }
+
+    while let Some((now, event)) = ev.pop() {
+        match event {
+            Ev::Arrival => {
+                let flow = cfg.mix.sample(&mut rng);
+                let shard = report.shard_of_flow[flow.as_usize()];
+                let size = cfg.sizes.sample(&mut rng) as usize;
+                let marker = seq as u8;
+                seq += 1;
+                payload[0] = marker;
+                let sr = &mut report.shards[shard];
+                sr.flows[flow.as_usize()].offered_pkts += 1;
+                sr.flows[flow.as_usize()].offered_bytes += size as u64;
+                let (evicted, admitted) = match adm.offer(&mut engine, flow, &payload[..size]) {
+                    Ok(admission) => (admission.evicted, true),
+                    Err(refusal) => (refusal.evicted, false),
+                };
+                for (victim, bytes) in evicted {
+                    // Push-out victims belong to the same shard as the
+                    // arrival: the policy only sees its own engine.
+                    let slot = ledger[victim.as_usize()]
+                        .pop_front()
+                        .expect("evicted packet must be in the ledger");
+                    if slot.len != bytes {
+                        sr.integrity_violations += 1;
+                    }
+                    sr.flows[victim.as_usize()].evicted_pkts += 1;
+                }
+                if admitted {
+                    ledger[flow.as_usize()].push_back(Slot {
+                        enqueued_at: now,
+                        len: size as u32,
+                        marker,
+                    });
+                    sr.flows[flow.as_usize()].admitted_pkts += 1;
+                } else {
+                    sr.flows[flow.as_usize()].dropped_pkts += 1;
+                }
+                let next = arrivals.next_arrival();
+                if next <= cfg.duration {
+                    ev.schedule(next, Ev::Arrival);
+                }
+                if !server_busy[shard] {
+                    server_busy[shard] = start_service(
+                        engine.shard_mut(shard),
+                        &mut scheds[shard],
+                        &mut ledger,
+                        &mut ev,
+                        per_shard_gbps,
+                        shard,
+                        &mut report.shards[shard].integrity_violations,
+                    );
+                }
+            }
+            Ev::TxDone {
+                shard,
+                flow,
+                bytes,
+                enqueued_at,
+            } => {
+                let fr = &mut report.shards[shard].flows[flow.as_usize()];
+                fr.delivered_pkts += 1;
+                fr.delivered_bytes += bytes as u64;
+                fr.latency_ns.push((now - enqueued_at).as_nanos_f64());
+                server_busy[shard] = start_service(
+                    engine.shard_mut(shard),
+                    &mut scheds[shard],
+                    &mut ledger,
+                    &mut ev,
+                    per_shard_gbps,
+                    shard,
+                    &mut report.shards[shard].integrity_violations,
+                );
+            }
+        }
+    }
+
+    let makespan = ev.now();
+    for (s, sr) in report.shards.iter_mut().enumerate() {
+        sr.makespan = makespan;
+        for (f, fr) in sr.flows.iter().enumerate() {
+            sr.offered_pkts += fr.offered_pkts;
+            sr.offered_bytes += fr.offered_bytes;
+            sr.dropped_pkts += fr.dropped_pkts;
+            sr.evicted_pkts += fr.evicted_pkts;
+            sr.delivered_pkts += fr.delivered_pkts;
+            sr.delivered_bytes += fr.delivered_bytes;
+            sr.latency_ns.merge(&fr.latency_ns);
+            let agg = &mut report.aggregate.flows[f];
+            agg.offered_pkts += fr.offered_pkts;
+            agg.offered_bytes += fr.offered_bytes;
+            agg.admitted_pkts += fr.admitted_pkts;
+            agg.dropped_pkts += fr.dropped_pkts;
+            agg.evicted_pkts += fr.evicted_pkts;
+            agg.delivered_pkts += fr.delivered_pkts;
+            agg.delivered_bytes += fr.delivered_bytes;
+            agg.latency_ns.merge(&fr.latency_ns);
+        }
+        report.aggregate.offered_pkts += sr.offered_pkts;
+        report.aggregate.offered_bytes += sr.offered_bytes;
+        report.aggregate.dropped_pkts += sr.dropped_pkts;
+        report.aggregate.evicted_pkts += sr.evicted_pkts;
+        report.aggregate.delivered_pkts += sr.delivered_pkts;
+        report.aggregate.delivered_bytes += sr.delivered_bytes;
+        report.aggregate.latency_ns.merge(&sr.latency_ns);
+        report.aggregate.integrity_violations += sr.integrity_violations;
+        debug_assert!(
+            engine.shard(s).verify().is_ok(),
+            "shard {s} invariants violated after drain"
+        );
+    }
+    report.aggregate.makespan = makespan;
+    debug_assert!(
+        engine.verify().is_ok(),
+        "cross-shard invariants violated after drain"
+    );
+    report
 }
 
 /// One named policy's outcome in a comparison run.
@@ -525,6 +769,77 @@ mod tests {
             lqd.report.delivered_bytes,
             tail.report.delivered_bytes
         );
+    }
+
+    #[test]
+    fn sharded_pipeline_conserves_per_shard_and_aggregate() {
+        let cfg = PipelineConfig::bursty_overload(21);
+        let r = run_sharded_pipeline(
+            &cfg,
+            4,
+            |_| DynamicThreshold::new(2.0),
+            |_| DeficitRoundRobin::new(vec![1518; 16]),
+        );
+        assert_eq!(r.shards.len(), 4);
+        assert!(r.aggregate.offered_pkts > 0);
+        assert!(
+            r.aggregate.dropped_pkts > 0,
+            "bursty overload must drop somewhere"
+        );
+        for (s, sr) in r.shards.iter().enumerate() {
+            assert_eq!(sr.integrity_violations, 0, "shard {s} tore a frame");
+            assert_eq!(
+                sr.offered_pkts,
+                sr.delivered_pkts + sr.dropped_pkts + sr.evicted_pkts,
+                "shard {s} does not conserve packets"
+            );
+        }
+        assert_eq!(r.aggregate.integrity_violations, 0);
+        assert_eq!(
+            r.aggregate.offered_pkts,
+            r.aggregate.delivered_pkts + r.aggregate.dropped_pkts + r.aggregate.evicted_pkts
+        );
+    }
+
+    #[test]
+    fn sharded_pipeline_routes_flows_to_their_home_shard_only() {
+        let cfg = PipelineConfig::bursty_overload(8);
+        let r = run_sharded_pipeline(
+            &cfg,
+            4,
+            |_| LongestQueueDrop::new(0),
+            |_| DeficitRoundRobin::new(vec![1518; 16]),
+        );
+        for (f, &home) in r.shard_of_flow.iter().enumerate() {
+            for (s, sr) in r.shards.iter().enumerate() {
+                if s != home {
+                    assert_eq!(
+                        sr.flows[f].offered_pkts, 0,
+                        "flow {f} leaked into shard {s} (home {home})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_pipeline_matches_the_dense_pipeline() {
+        let cfg = PipelineConfig::bursty_overload(5);
+        let sharded = run_sharded_pipeline(
+            &cfg,
+            1,
+            |_| DynamicThreshold::new(2.0),
+            |_| DeficitRoundRobin::new(vec![1518; 16]),
+        );
+        let mut policy = DynamicThreshold::new(2.0);
+        let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+        let dense = run_pipeline(&cfg, &mut policy, &mut sched);
+        let a = &sharded.aggregate;
+        assert_eq!(a.offered_pkts, dense.offered_pkts);
+        assert_eq!(a.dropped_pkts, dense.dropped_pkts);
+        assert_eq!(a.delivered_pkts, dense.delivered_pkts);
+        assert_eq!(a.delivered_bytes, dense.delivered_bytes);
+        assert_eq!(a.makespan, dense.makespan);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Shard-scaling throughput experiment — the workload behind `table7`.
+//!
+//! The paper's MMS reaches 2.5 Gbit/s because queue management is a
+//! pipelined hardware unit; the scaling axis beyond that is *more
+//! engines*, with flows partitioned across them. This module drives a
+//! [`ShardedQueueManager`] with the same Zipf-skewed bursty-overload mix
+//! `table6` uses (Zipf flow popularity, IMIX sizes, offered load above
+//! drain capacity) and measures **segments per second versus shard
+//! count**.
+//!
+//! # What is measured
+//!
+//! Each round offers a batch of packets through shard-local
+//! Choudhury–Hahne admission ([`ShardedAdmission`] +
+//! [`DynamicThreshold`]) and then drains part of the backlog with a batch
+//! of `Dequeue` commands ([`ShardedQueueManager::execute_batch`]). Both
+//! paths accumulate per-shard **busy time**; since shards share no state,
+//! N shards model N engines running in parallel and the sustained rate is
+//!
+//! ```text
+//! segments_per_sec = segments_processed / critical_path
+//! ```
+//!
+//! where the critical path is the *busiest* engine's accumulated time —
+//! the same convention the IXP1200 model uses for its "six engines"
+//! column (Table 2). The 1-shard row pays the whole workload on one
+//! engine and is the serialized baseline.
+//!
+//! Alongside throughput the run keeps a full per-packet ledger (length +
+//! marker byte), so it also proves **byte-level conservation** (admitted
+//! bytes ≡ drained bytes + bytes still queued) and **zero torn frames**
+//! across shards, and finishes with the engine's own
+//! [`ShardedQueueManager::verify`] pass.
+
+use crate::flows::FlowMix;
+use crate::size::SizeDistribution;
+use npqm_core::policy::DynamicThreshold;
+use npqm_core::shard::{ShardedAdmission, ShardedQueueManager};
+use npqm_core::{Command, FlowId, Outcome, QmConfig};
+use npqm_sim::rng::Xoshiro256pp;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Configuration of one shard-scaling run.
+#[derive(Debug, Clone)]
+pub struct ShardScaleConfig {
+    /// Number of flows the mix draws from.
+    pub flows: u32,
+    /// Aggregate data-memory size in segments, split evenly across
+    /// shards so every shard count manages the same total buffer.
+    pub total_segments: u32,
+    /// Segment size in bytes.
+    pub segment_bytes: u32,
+    /// Zipf popularity exponent of the flow mix.
+    pub zipf_exponent: f64,
+    /// Choudhury–Hahne `alpha` of the shard-local admission thresholds.
+    pub alpha: f64,
+    /// Offer/drain rounds per run.
+    pub rounds: u32,
+    /// Packets offered per round (IMIX sizes).
+    pub packets_per_round: u32,
+    /// Fraction of the queued backlog drained per round (< 1 keeps the
+    /// buffer under sustained overload, the regime that exercises the
+    /// admission thresholds).
+    pub drain_fraction: f64,
+    /// RNG seed; the command trace is a pure function of the
+    /// configuration, so every shard count executes the same workload.
+    pub seed: u64,
+}
+
+impl ShardScaleConfig {
+    /// The `table7` scenario: 64 flows, Zipf 1.2, IMIX sizes, a 512 KiB
+    /// aggregate buffer under sustained overload (~30 % of the backlog
+    /// drained per round).
+    pub fn table7() -> Self {
+        ShardScaleConfig {
+            flows: 64,
+            total_segments: 8192,
+            segment_bytes: 64,
+            zipf_exponent: 1.2,
+            alpha: 2.0,
+            rounds: 48,
+            packets_per_round: 2048,
+            drain_fraction: 0.3,
+            seed: 42,
+        }
+    }
+
+    /// A small, fast scenario for smoke tests and the criterion bench.
+    pub fn smoke() -> Self {
+        ShardScaleConfig {
+            rounds: 6,
+            packets_per_round: 256,
+            total_segments: 2048,
+            ..ShardScaleConfig::table7()
+        }
+    }
+}
+
+/// Outcome of one shard count in the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ShardScaleRow {
+    /// Number of shards (independent engines).
+    pub shards: usize,
+    /// Packets the mix offered for admission.
+    pub offered_pkts: u64,
+    /// Payload bytes offered (identical across shard counts: the offered
+    /// trace is a pure function of the configuration).
+    pub offered_bytes: u64,
+    /// Packets the shard-local thresholds admitted.
+    pub admitted_pkts: u64,
+    /// Packets refused at admission.
+    pub dropped_pkts: u64,
+    /// Payload bytes admitted.
+    pub admitted_bytes: u64,
+    /// Whole frames delivered by the drain batches.
+    pub delivered_pkts: u64,
+    /// Payload bytes drained (including segments of frames still
+    /// incomplete when the run ended).
+    pub drained_bytes: u64,
+    /// Payload bytes still queued when the run ended (proven by the
+    /// engine's verification walk).
+    pub residual_bytes: u64,
+    /// Segments processed: enqueued (admission) plus dequeued (drain).
+    pub segments_processed: u64,
+    /// Busy time of each shard.
+    pub busy: Vec<Duration>,
+    /// Busy time of the busiest shard (parallel-composite makespan).
+    pub critical_path: Duration,
+    /// Total busy time (what one serialized engine would pay).
+    pub serial_time: Duration,
+    /// Delivered frames whose length or marker byte did not match the
+    /// admission ledger — torn or cross-linked packets. Always 0 on a
+    /// healthy engine.
+    pub torn_frames: u64,
+    /// Whether `admitted == delivered + residual` held for both packets
+    /// and bytes at the end of the run.
+    pub conserved: bool,
+}
+
+impl ShardScaleRow {
+    /// Sustained rate of the N-engine composite: segments processed over
+    /// the critical path.
+    pub fn segments_per_sec(&self) -> f64 {
+        let secs = self.critical_path.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.segments_processed as f64 / secs
+    }
+}
+
+/// Ledger slot for one admitted packet: its length and marker byte.
+type LedgerSlot = (u32, u8);
+
+/// Per-flow reassembly state while draining segment by segment.
+#[derive(Debug, Clone, Default)]
+struct Reassembly {
+    in_flight: bool,
+    bytes: u64,
+    marker: u8,
+}
+
+/// Runs the Zipf/IMIX overload workload on `shards` engines and measures
+/// the composite throughput (see the [module docs](self)).
+///
+/// The **offered trace** — arrival order, flows, sizes, markers — is a
+/// pure function of `cfg`, identical for every shard count. The
+/// *processed* set is not: shard-local thresholds over the partitioned
+/// buffer admit different packet subsets, and drain batches are sized
+/// from the live backlog. The per-row conservation ledger closes over
+/// whatever each row actually processed, and `segments_per_sec` is rate
+/// (work over busy time), so rows stay comparable; the speedup column
+/// reflects both the critical-path parallelism of independent engines
+/// and the per-shard locality effects (smaller queue tables and
+/// occupancy heaps) that sharding buys.
+///
+/// # Panics
+///
+/// Panics if the per-shard buffer would be empty
+/// (`total_segments / shards == 0`) or the configuration is invalid.
+pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize) -> ShardScaleRow {
+    let qm_cfg = QmConfig::builder()
+        .num_flows(cfg.flows)
+        .num_segments(cfg.total_segments)
+        .segment_bytes(cfg.segment_bytes)
+        .build()
+        .expect("scale configuration must be valid");
+    let mut engine =
+        ShardedQueueManager::partitioned(qm_cfg, shards).expect("per-shard buffer is non-empty");
+    let mut adm = ShardedAdmission::from_fn(shards, |_| DynamicThreshold::new(cfg.alpha));
+    let mix = FlowMix::zipf(cfg.flows, cfg.zipf_exponent);
+    let sizes = SizeDistribution::Imix;
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+
+    let mut row = ShardScaleRow {
+        shards,
+        offered_pkts: 0,
+        offered_bytes: 0,
+        admitted_pkts: 0,
+        dropped_pkts: 0,
+        admitted_bytes: 0,
+        delivered_pkts: 0,
+        drained_bytes: 0,
+        residual_bytes: 0,
+        segments_processed: 0,
+        busy: Vec::new(),
+        critical_path: Duration::ZERO,
+        serial_time: Duration::ZERO,
+        torn_frames: 0,
+        conserved: false,
+    };
+    let mut ledger: Vec<VecDeque<LedgerSlot>> = (0..cfg.flows).map(|_| VecDeque::new()).collect();
+    let mut reasm: Vec<Reassembly> = vec![Reassembly::default(); cfg.flows as usize];
+    let seg_bytes = cfg.segment_bytes as usize;
+    let mut seq = 0u64;
+
+    for _ in 0..cfg.rounds {
+        // --- offered batch: Zipf flows, IMIX sizes, marker-stamped ---
+        let arrivals_owned: Vec<(FlowId, Vec<u8>)> = (0..cfg.packets_per_round)
+            .map(|_| {
+                let flow = mix.sample(&mut rng);
+                let size = sizes.sample(&mut rng) as usize;
+                let marker = seq as u8;
+                seq += 1;
+                let mut data = vec![0xC3u8; size];
+                data[0] = marker;
+                (flow, data)
+            })
+            .collect();
+        let arrivals: Vec<(FlowId, &[u8])> = arrivals_owned
+            .iter()
+            .map(|(f, d)| (*f, d.as_slice()))
+            .collect();
+        let admissions = adm.offer_batch(&mut engine, &arrivals);
+        for (i, result) in admissions.iter().enumerate() {
+            let (flow, data) = &arrivals_owned[i];
+            row.offered_pkts += 1;
+            row.offered_bytes += data.len() as u64;
+            match result {
+                Ok(_) => {
+                    row.admitted_pkts += 1;
+                    row.admitted_bytes += data.len() as u64;
+                    row.segments_processed += data.len().div_ceil(seg_bytes) as u64;
+                    ledger[flow.as_usize()].push_back((data.len() as u32, data[0]));
+                }
+                Err(_) => row.dropped_pkts += 1,
+            }
+        }
+
+        // --- drain batch: serve a fraction of the backlog ---
+        let queued_segments: u64 = (0..shards)
+            .map(|s| {
+                let qm = engine.shard(s);
+                (0..cfg.flows)
+                    .map(|f| qm.queue_len_segments(FlowId::new(f)) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        let passes =
+            ((queued_segments as f64 * cfg.drain_fraction / cfg.flows as f64).ceil() as u64).max(1);
+        let mut drain = Vec::with_capacity((passes * cfg.flows as u64) as usize);
+        for _ in 0..passes {
+            for f in 0..cfg.flows {
+                drain.push(Command::Dequeue {
+                    flow: FlowId::new(f),
+                });
+            }
+        }
+        let served = engine.execute_batch(&drain);
+        for (cmd, result) in drain.iter().zip(&served) {
+            let Ok(Outcome::Segment(seg)) = result else {
+                continue; // QueueEmpty on an idle flow: expected
+            };
+            row.segments_processed += 1;
+            row.drained_bytes += seg.data.len() as u64;
+            let f = cmd.primary_flow().as_usize();
+            let r = &mut reasm[f];
+            if seg.sop {
+                if r.in_flight {
+                    row.torn_frames += 1;
+                }
+                r.in_flight = true;
+                r.bytes = 0;
+                r.marker = seg.data[0];
+            }
+            r.bytes += seg.data.len() as u64;
+            if seg.eop {
+                r.in_flight = false;
+                row.delivered_pkts += 1;
+                match ledger[f].pop_front() {
+                    Some((len, marker)) => {
+                        if len as u64 != r.bytes || marker != r.marker {
+                            row.torn_frames += 1;
+                        }
+                    }
+                    None => row.torn_frames += 1,
+                }
+            }
+        }
+    }
+
+    row.busy = engine.busy_times().to_vec();
+    row.critical_path = engine.critical_path();
+    row.serial_time = engine.serial_time();
+    let report = engine
+        .verify()
+        .expect("sharded engine invariants hold after the run");
+    row.residual_bytes = report.payload_bytes;
+    let residual_pkts: u64 = ledger.iter().map(|l| l.len() as u64).sum();
+    // A flow mid-reassembly still owns its ledger slot; its drained
+    // segments are in drained_bytes, the rest in residual_bytes — the
+    // byte identity below still must close exactly.
+    let pkts_ok = row.admitted_pkts == row.delivered_pkts + residual_pkts;
+    let bytes_ok = row.admitted_bytes == row.drained_bytes + row.residual_bytes;
+    // A frame mid-reassembly has not reached its EOP, so its admission
+    // ledger slot must still be present (slots pop only at EOP).
+    let in_flight_ok = reasm
+        .iter()
+        .enumerate()
+        .all(|(f, r)| !r.in_flight || !ledger[f].is_empty());
+    row.conserved = pkts_ok && bytes_ok && in_flight_ok;
+    row
+}
+
+/// Runs [`run_shard_scale`] for each shard count.
+pub fn run_shard_sweep(cfg: &ShardScaleConfig, shard_counts: &[usize]) -> Vec<ShardScaleRow> {
+    shard_counts
+        .iter()
+        .map(|&n| run_shard_scale(cfg, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_conserves_and_never_tears() {
+        let cfg = ShardScaleConfig::smoke();
+        for shards in [1usize, 4] {
+            let row = run_shard_scale(&cfg, shards);
+            assert_eq!(row.shards, shards);
+            assert!(row.offered_pkts > 0);
+            assert_eq!(row.offered_pkts, row.admitted_pkts + row.dropped_pkts);
+            assert!(row.dropped_pkts > 0, "overload must drop");
+            assert_eq!(row.torn_frames, 0);
+            assert!(row.conserved, "ledger must close: {row:?}");
+            assert!(row.segments_processed > 0);
+            assert!(row.critical_path > Duration::ZERO);
+            assert!(row.serial_time >= row.critical_path);
+            assert_eq!(row.busy.len(), shards);
+        }
+    }
+
+    #[test]
+    fn offered_trace_is_identical_across_shard_counts() {
+        // Same seed, same offered trace (counts and bytes) for every
+        // shard count; the admitted/drained sets may differ, since the
+        // shard-local thresholds see partitioned buffers.
+        let cfg = ShardScaleConfig::smoke();
+        let a = run_shard_scale(&cfg, 1);
+        let b = run_shard_scale(&cfg, 8);
+        assert_eq!(a.offered_pkts, b.offered_pkts);
+        assert_eq!(a.offered_bytes, b.offered_bytes);
+    }
+
+    #[test]
+    fn sweep_returns_one_row_per_count() {
+        let rows = run_shard_sweep(&ShardScaleConfig::smoke(), &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].shards, 1);
+        assert_eq!(rows[1].shards, 2);
+    }
+}
