@@ -2,10 +2,13 @@
 # CI for the npqm workspace. Runs offline: every dependency is an in-repo
 # path crate (see crates/npqm-prop and crates/npqm-criterion for the
 # proptest/criterion stand-ins). The hosted pipeline in
-# .github/workflows/ci.yml runs exactly this script.
+# .github/workflows/ci.yml runs exactly this script, split into a
+# two-job matrix: `quick` on pull requests, the full pipeline on pushes
+# to main.
 #
 #   ./ci.sh         # full pipeline: fmt, clippy, docs, tier-1, tables,
-#                   # golden checks, every example, bench smoke
+#                   # golden checks, parallel-determinism diff, every
+#                   # example, bench smoke, bench artifacts
 #   ./ci.sh quick   # tier-1 (build + test) plus the table6 golden check,
 #                   # so even the fast path catches torn-frame and
 #                   # conservation regressions
@@ -22,7 +25,8 @@ tier1() {
 # Golden-output regression gates: the table binaries assert their
 # machine-readable invariants (packet + byte conservation, zero torn
 # frames, LQD >= tail-drop goodput, monotone shard scaling with >= 2x at
-# 4 shards) instead of having their stdout discarded.
+# 4 shards, global-LQD >= shard-local goodput) instead of having their
+# stdout discarded.
 golden_quick() {
     echo "==> table6 --check (drop-policy conservation gates)"
     cargo run --release -q -p npqm-bench --bin table6 -- --check
@@ -30,8 +34,38 @@ golden_quick() {
 
 golden_full() {
     golden_quick
-    echo "==> table7 --check (shard-scaling gates)"
-    cargo run --release -q -p npqm-bench --bin table7 -- --check
+    # This run doubles as the serial leg of the parallel-determinism
+    # stage below: --report writes a machine-readable document holding
+    # only deterministic fields (no wall clock, no steal counts).
+    echo "==> table7 --check at NPQM_THREADS=1 (shard-scaling gates, serial leg)"
+    NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table7 -- \
+        --check --report target/table7-det-threads1.json
+}
+
+# The headline guarantee of the thread-parallel executor: for a fixed
+# seed, delivery reports, conservation checks and per-packet ledger
+# fingerprints are byte-identical to serial replay at any thread count.
+# Run the same gates at 4 worker threads and require the two
+# deterministic reports to be identical to the byte.
+parallel_determinism() {
+    echo "==> parallel-determinism: table7 --check at NPQM_THREADS=4"
+    NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table7 -- \
+        --check --report target/table7-det-threads4.json
+    echo "==> parallel-determinism: diff threads=1 vs threads=4 reports"
+    if ! diff -u target/table7-det-threads1.json target/table7-det-threads4.json; then
+        echo "parallel-determinism FAILED: reports differ between 1 and 4 threads" >&2
+        exit 1
+    fi
+    echo "parallel-determinism: reports byte-identical."
+}
+
+# Machine-readable bench/table results, uploaded as a CI artifact by the
+# hosted pipeline so the perf trajectory accumulates per commit. These
+# include the wall-clock measurements the determinism reports exclude.
+bench_artifacts() {
+    echo "==> bench artifacts (BENCH_table6.json, BENCH_table7.json)"
+    cargo run --release -q -p npqm-bench --bin table6 -- --json BENCH_table6.json >/dev/null
+    cargo run --release -q -p npqm-bench --bin table7 -- --json BENCH_table7.json >/dev/null
 }
 
 if [[ "${1:-}" == "quick" ]]; then
@@ -57,6 +91,8 @@ cargo run --release -q -p npqm-bench --bin all_tables >/dev/null
 
 golden_full
 
+parallel_determinism
+
 # Every runnable scenario must stay runnable, not just drop_policies.
 for src in examples/*.rs; do
     ex="$(basename "${src%.rs}")"
@@ -75,5 +111,7 @@ for src in crates/npqm-bench/benches/*.rs; do
     echo "==> bench-smoke ${bench}"
     cargo bench -q -p npqm-bench --bench "${bench}" -- --test >/dev/null
 done
+
+bench_artifacts
 
 echo "CI green."

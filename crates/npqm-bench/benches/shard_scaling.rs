@@ -18,7 +18,15 @@ fn bench_scale_sweep(c: &mut Criterion) {
     ));
     for shards in [1usize, 2, 4, 8] {
         group.bench_function(format!("zipf_overload/{shards}_shards"), |b| {
-            b.iter(|| black_box(run_shard_scale(black_box(&cfg), shards)));
+            b.iter(|| black_box(run_shard_scale(black_box(&cfg), shards, 1)));
+        });
+    }
+    // The thread-parallel executor on the 4-shard workload: wall-clock
+    // speedup over the serial row above is the real-parallelism win (on
+    // a single-core host the rows mostly show the executor's overhead).
+    for threads in [2usize, 4] {
+        group.bench_function(format!("zipf_overload/4_shards_{threads}_threads"), |b| {
+            b.iter(|| black_box(run_shard_scale(black_box(&cfg), 4, threads)));
         });
     }
     group.finish();

@@ -147,6 +147,7 @@ fn main() {
     let sweep = npqm_traffic::scale::run_shard_sweep(
         &npqm_traffic::scale::ShardScaleConfig::table7(),
         &[1, 2, 4, 8],
+        npqm_traffic::scale::threads_from_env(),
     );
     let base = sweep[0].segments_per_sec();
     let table7 = sweep

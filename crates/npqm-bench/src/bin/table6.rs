@@ -12,8 +12,11 @@
 //! `table6 --check` runs the machine-checkable golden gates instead of
 //! the pretty table: packet conservation and zero torn frames under
 //! every policy, and LQD goodput at least matching statically
-//! partitioned tail drop.
+//! partitioned tail drop. `--json <path>` additionally writes the
+//! machine-readable per-policy results (the `BENCH_table6.json` CI
+//! artifact, one data point of the per-commit perf trajectory).
 
+use npqm_bench::json::{Json, ToJson};
 use npqm_traffic::pipeline::{compare_policies, PipelineConfig};
 
 fn check(ok: bool, what: &str) {
@@ -53,12 +56,32 @@ fn run_check() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--check") {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--check") {
+        if args.iter().any(|a| a == "--json") {
+            eprintln!("table6: --json is ignored in --check mode (run without --check)");
+        }
         run_check();
         return;
     }
     let cfg = PipelineConfig::bursty_overload(42);
     let outcomes = compare_policies(&cfg);
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+    {
+        let doc = Json::obj([
+            ("table", "table6".to_json()),
+            ("outcomes", outcomes.to_json()),
+        ]);
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, doc.pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("table6: wrote {path}");
+        println!();
+    }
 
     println!("Table 6 (ours): drop policies under bursty overload");
     println!("===================================================");

@@ -1,5 +1,7 @@
 //! Table 7 (ours): sharded batched-engine scaling — segments/sec versus
-//! shard count under the Zipf bursty-overload mix.
+//! shard count under the Zipf bursty-overload mix, plus the
+//! threads×shards wall-clock sweep of the thread-parallel executor and
+//! the global-LQD shared-buffer closed loop.
 //!
 //! The paper's MMS is a single pipelined engine; the scaling axis beyond
 //! it is *more engines* with flows partitioned across them. Each row runs
@@ -8,29 +10,58 @@
 //! independent engine shards and reports the composite rate
 //! `segments / critical path`, where the critical path is the busiest
 //! shard's measured busy time — the same multi-engine modeling convention
-//! as Table 2's "six engines" column. A second section drives the sharded
-//! closed-loop pipeline (arrivals → shard-local admission → per-shard
-//! scheduler → per-shard egress) and shows the per-shard goodput split.
+//! as Table 2's "six engines" column. The threads section then runs the
+//! 4-shard workload through `execute_batch_parallel` /
+//! `offer_batch_parallel` at 1, 2 and 4 worker threads and reports the
+//! *real* wall clock next to that modeled composite. A closed-loop
+//! section compares shard-local Choudhury–Hahne admission against the
+//! global LQD over a shared buffer.
 //!
 //! `table7 --check` runs the machine-checkable golden gates instead of
 //! the pretty table: byte-level conservation and zero torn frames on
-//! every row, monotone shard scaling, ≥ 2× the 1-shard rate at 4 shards,
-//! and packet conservation + frame integrity in the sharded closed loop.
+//! every row, thread-count invariance of the end-state fingerprint,
+//! monotone shard scaling, ≥ 2× the 1-shard modeled rate at 4 shards
+//! (the modeled gates are evaluated only at `NPQM_THREADS=1`, where the
+//! busy-time basis is not contaminated by worker contention), wall-clock
+//! speedup ≥ 1.5× at 4 threads / 4 shards (enforced only on a host with
+//! ≥ 4 cores), and packet conservation + frame integrity in both closed
+//! loops. The worker-thread count comes from `NPQM_THREADS`
+//! (default 1); `--report <path>` additionally writes a machine-readable
+//! JSON document containing **only deterministic fields**, which the CI
+//! `parallel-determinism` stage diffs across thread counts —
+//! byte-identical or the build fails. `--json <path>` (without
+//! `--check`) writes the full results including wall-clock measurements,
+//! the per-commit perf artifact.
 
+use npqm_bench::json::{Json, ToJson};
 use npqm_core::policy::DynamicThreshold;
 use npqm_core::sched::DeficitRoundRobin;
-use npqm_traffic::pipeline::{run_sharded_pipeline, PipelineConfig};
-use npqm_traffic::scale::{run_shard_sweep, ShardScaleConfig, ShardScaleRow};
+use npqm_traffic::pipeline::{
+    run_sharded_pipeline, run_sharded_pipeline_global_lqd, PipelineConfig, ShardedPipelineReport,
+};
+use npqm_traffic::scale::{
+    run_shard_scale, run_shard_sweep, run_thread_sweep, threads_from_env, ShardScaleConfig,
+    ShardScaleRow,
+};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// The shard count the wall-clock thread sweep runs at.
+const PARALLEL_SHARDS: usize = 4;
 
 /// Minimum rate ratio between consecutive shard counts for "monotone"
 /// scaling: a strict ≥ 1.0 would flake on timing noise, so a doubling may
 /// lose at most 10 %.
 const MONOTONE_TOLERANCE: f64 = 0.9;
 
-/// The headline gate: 4 shards must at least double the 1-shard rate.
+/// The modeled-composite gate: 4 shards must at least double the 1-shard
+/// rate.
 const SPEEDUP_AT_4: f64 = 2.0;
+
+/// The real-parallelism gate: at 4 worker threads on 4 shards, measured
+/// wall clock must beat the serial run by at least this factor. Only
+/// enforced when the host actually has ≥ 4 cores.
+const WALL_SPEEDUP_AT_4: f64 = 1.5;
 
 fn check(ok: bool, what: &str) {
     if ok {
@@ -41,8 +72,8 @@ fn check(ok: bool, what: &str) {
     }
 }
 
-fn run_rows() -> Vec<ShardScaleRow> {
-    run_shard_sweep(&ShardScaleConfig::table7(), &SHARD_COUNTS)
+fn run_rows(threads: usize) -> Vec<ShardScaleRow> {
+    run_shard_sweep(&ShardScaleConfig::table7(), &SHARD_COUNTS, threads)
 }
 
 fn speedup(rows: &[ShardScaleRow], shards: usize) -> f64 {
@@ -54,16 +85,33 @@ fn speedup(rows: &[ShardScaleRow], shards: usize) -> f64 {
     row.segments_per_sec() / base
 }
 
-fn closed_loop() -> npqm_traffic::pipeline::ShardedPipelineReport {
+/// The shard-local closed loop: Choudhury–Hahne admission per shard.
+/// `parallel` selects the per-shard-threads execution mode, which is
+/// byte-identical to serial — the determinism report relies on it.
+fn closed_loop(parallel: bool) -> ShardedPipelineReport {
     run_sharded_pipeline(
         &PipelineConfig::bursty_overload(42),
         4,
+        parallel,
         |_| DynamicThreshold::new(2.0),
         |_| DeficitRoundRobin::new(vec![1518; 16]),
     )
 }
 
-/// Checks the deterministic gates — hard failures, never retried.
+/// The shared-buffer closed loop: one global LQD over all 4 shards.
+fn closed_loop_global() -> ShardedPipelineReport {
+    run_sharded_pipeline_global_lqd(&PipelineConfig::bursty_overload(42), 4, 0, |_| {
+        DeficitRoundRobin::new(vec![1518; 16])
+    })
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Checks the deterministic gates — hard failures, never retried (they
+/// are pure functions of the seed, so a second sweep cannot change
+/// them).
 fn check_determinism(rows: &[ShardScaleRow]) {
     for r in rows {
         check(
@@ -84,7 +132,8 @@ fn check_determinism(rows: &[ShardScaleRow]) {
     }
 }
 
-/// Evaluates the wall-clock gates, returning the first failure.
+/// Evaluates the modeled-composite wall-clock gates, returning the first
+/// failure.
 fn timing_gates(rows: &[ShardScaleRow]) -> Result<(), String> {
     for w in rows.windows(2) {
         let ratio = w[1].segments_per_sec() / w[0].segments_per_sec();
@@ -104,14 +153,15 @@ fn timing_gates(rows: &[ShardScaleRow]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_check() {
-    let rows = run_rows();
-    check_determinism(&rows);
-    // The scaling gates measure wall clock; one preemption on a noisy
-    // shared runner can dent a single row with no code regression, so a
-    // failed timing gate earns exactly one fresh sweep (the
-    // deterministic gates above are never retried).
-    match timing_gates(&rows) {
+/// Runs the timing gates with the one-retry policy: the scaling gates
+/// measure wall clock, so one preemption on a noisy shared runner can
+/// dent a single row with no code regression. A failed timing gate logs
+/// *which* gate failed, announces the retry, and earns exactly one fresh
+/// sweep on which **only the timing gates** are re-evaluated — the
+/// deterministic gates passed on the first sweep and, being pure
+/// functions of the seed, cannot change.
+fn timing_gates_with_retry(rows: &[ShardScaleRow], threads: usize) {
+    match timing_gates(rows) {
         Ok(()) => {
             for w in rows.windows(2) {
                 println!(
@@ -123,13 +173,15 @@ fn run_check() {
             }
             println!(
                 "table7 check: 4-shard speedup {:.2}x >= {SPEEDUP_AT_4:.1}x over 1 shard: ok",
-                speedup(&rows, 4)
+                speedup(rows, 4)
             );
         }
         Err(first) => {
-            eprintln!("table7 check: timing gate failed ({first}); retrying once on a fresh sweep");
-            let retry = run_rows();
-            check_determinism(&retry);
+            eprintln!(
+                "table7 check: timing gate failed ({first}); \
+                 retrying once on a fresh sweep (deterministic gates are not re-run)"
+            );
+            let retry = run_rows(threads);
             match timing_gates(&retry) {
                 Ok(()) => println!(
                     "table7 check: timing gates: ok on retry (4-shard speedup {:.2}x)",
@@ -139,34 +191,258 @@ fn run_check() {
             }
         }
     }
+}
 
-    let loop_report = closed_loop();
-    for (s, sr) in loop_report.shards.iter().enumerate() {
+/// The real-parallelism gate: compare the measured wall clock of the
+/// 4-shard workload at `threads` workers against a fresh serial run.
+/// Also asserts — unconditionally, as a hard deterministic gate — that
+/// the two runs computed the identical end state.
+fn wall_clock_gate(rows: &[ShardScaleRow], threads: usize) {
+    if threads < 2 {
+        println!(
+            "table7 check: wall-clock speedup gate skipped (NPQM_THREADS={threads}, \
+             nothing to compare)"
+        );
+        return;
+    }
+    let parallel = rows
+        .iter()
+        .find(|r| r.shards == PARALLEL_SHARDS)
+        .expect("sweep covers the parallel shard count");
+    let serial = run_shard_scale(&ShardScaleConfig::table7(), PARALLEL_SHARDS, 1);
+    check(
+        serial.fingerprint == parallel.fingerprint,
+        &format!(
+            "{PARALLEL_SHARDS} shards: end-state fingerprint identical at 1 and {threads} threads"
+        ),
+    );
+    let ratio = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64();
+    if cores() < 4 || threads < 4 {
+        println!(
+            "table7 check: wall-clock speedup {ratio:.2}x at {threads} threads measured; \
+             >= {WALL_SPEEDUP_AT_4:.1}x gate skipped ({} cores, {threads} threads — needs 4+ of each)",
+            cores()
+        );
+        return;
+    }
+    if ratio >= WALL_SPEEDUP_AT_4 {
+        println!(
+            "table7 check: wall-clock speedup {ratio:.2}x >= {WALL_SPEEDUP_AT_4:.1}x \
+             at {threads} threads / {PARALLEL_SHARDS} shards: ok"
+        );
+        return;
+    }
+    // Wall-clock gate: same one-retry policy as the modeled gates.
+    eprintln!(
+        "table7 check: timing gate failed (wall-clock speedup {ratio:.2}x < \
+         {WALL_SPEEDUP_AT_4:.1}x); retrying once on a fresh pair"
+    );
+    let serial = run_shard_scale(&ShardScaleConfig::table7(), PARALLEL_SHARDS, 1);
+    let parallel = run_shard_scale(&ShardScaleConfig::table7(), PARALLEL_SHARDS, threads);
+    let ratio = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64();
+    check(
+        ratio >= WALL_SPEEDUP_AT_4,
+        &format!(
+            "wall-clock speedup {ratio:.2}x >= {WALL_SPEEDUP_AT_4:.1}x \
+             at {threads} threads / {PARALLEL_SHARDS} shards (retry)"
+        ),
+    );
+}
+
+fn check_closed_loop(name: &str, report: &ShardedPipelineReport) {
+    for (s, sr) in report.shards.iter().enumerate() {
         check(
             sr.offered_pkts == sr.delivered_pkts + sr.dropped_pkts + sr.evicted_pkts,
-            &format!("closed loop shard {s}: packet conservation"),
+            &format!("{name} shard {s}: packet conservation"),
         );
         check(
             sr.integrity_violations == 0,
-            &format!("closed loop shard {s}: frame integrity"),
+            &format!("{name} shard {s}: frame integrity"),
         );
     }
-    let a = &loop_report.aggregate;
+    let a = &report.aggregate;
     check(
         a.offered_pkts == a.delivered_pkts + a.dropped_pkts + a.evicted_pkts,
-        "closed loop aggregate: packet conservation",
+        &format!("{name} aggregate: packet conservation"),
     );
+}
+
+/// The determinism report: only fields that are pure functions of the
+/// configuration — no wall clock, no busy times, no steal counts, no
+/// thread count. `ci.sh parallel-determinism` runs `--check --report` at
+/// `NPQM_THREADS=1` and `NPQM_THREADS=4` and requires the two documents
+/// to be byte-identical.
+fn determinism_report(
+    rows: &[ShardScaleRow],
+    loop_local: &ShardedPipelineReport,
+    loop_global: &ShardedPipelineReport,
+) -> Json {
+    let row_json = |r: &ShardScaleRow| {
+        Json::obj([
+            ("shards", r.shards.to_json()),
+            ("offered_pkts", r.offered_pkts.to_json()),
+            ("offered_bytes", r.offered_bytes.to_json()),
+            ("admitted_pkts", r.admitted_pkts.to_json()),
+            ("dropped_pkts", r.dropped_pkts.to_json()),
+            ("admitted_bytes", r.admitted_bytes.to_json()),
+            ("delivered_pkts", r.delivered_pkts.to_json()),
+            ("drained_bytes", r.drained_bytes.to_json()),
+            ("residual_bytes", r.residual_bytes.to_json()),
+            ("segments_processed", r.segments_processed.to_json()),
+            ("torn_frames", r.torn_frames.to_json()),
+            ("conserved", r.conserved.to_json()),
+            ("fingerprint", format!("{:#018x}", r.fingerprint).to_json()),
+        ])
+    };
+    Json::obj([
+        ("scale_rows", Json::Arr(rows.iter().map(row_json).collect())),
+        ("closed_loop_shard_local", loop_local.to_json()),
+        ("closed_loop_global_lqd", loop_global.to_json()),
+    ])
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("table7: wrote {path}");
+}
+
+fn run_check(report_path: Option<&str>) {
+    let threads = threads_from_env();
+    println!(
+        "table7 check: NPQM_THREADS={threads} ({} cores available)",
+        cores()
+    );
+    let rows = run_rows(threads);
+    check_determinism(&rows);
+    if threads == 1 {
+        timing_gates_with_retry(&rows, threads);
+    } else {
+        // Per-shard busy times measured while `threads` workers contend
+        // for the host's cores include preemption and cache interference
+        // the serial leg does not see; judging the modeled composite on
+        // that basis would make this leg systematically flakier. The
+        // serial leg (ci.sh runs it first, NPQM_THREADS=1) enforces
+        // these gates on clean measurements; this leg keeps the
+        // deterministic gates and the parallel-specific wall-clock gate.
+        println!(
+            "table7 check: modeled composite gates (monotone scaling, >= {SPEEDUP_AT_4:.1}x \
+             at 4 shards) are enforced on the NPQM_THREADS=1 leg; skipped at \
+             {threads} threads where worker contention contaminates busy times"
+        );
+    }
+    wall_clock_gate(&rows, threads);
+
+    let loop_local = closed_loop(threads > 1);
+    check_closed_loop("closed loop (shard-local C-H)", &loop_local);
+    let loop_global = closed_loop_global();
+    check_closed_loop("closed loop (global LQD)", &loop_global);
+    check(
+        loop_global.aggregate.delivered_bytes >= loop_local.aggregate.delivered_bytes,
+        &format!(
+            "global LQD goodput >= shard-local C-H ({} vs {} bytes)",
+            loop_global.aggregate.delivered_bytes, loop_local.aggregate.delivered_bytes
+        ),
+    );
+
+    if let Some(path) = report_path {
+        let doc = determinism_report(&rows, &loop_local, &loop_global);
+        write_file(path, &doc.pretty());
+    }
     println!("table7 check: PASS");
 }
 
+fn print_scale_table(rows: &[ShardScaleRow]) {
+    println!(
+        "{:>6} {:>9} {:>9} {:>8} {:>10} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "shards",
+        "offered",
+        "admitted",
+        "dropped",
+        "delivered",
+        "segments",
+        "critical",
+        "serial",
+        "Mseg/s",
+        "speedup"
+    );
+    let base = rows[0].segments_per_sec();
+    for r in rows {
+        println!(
+            "{:>6} {:>9} {:>9} {:>8} {:>10} {:>9} {:>8.2}ms {:>8.2}ms {:>8.2} {:>7.2}x",
+            r.shards,
+            r.offered_pkts,
+            r.admitted_pkts,
+            r.dropped_pkts,
+            r.delivered_pkts,
+            r.segments_processed,
+            r.critical_path.as_secs_f64() * 1e3,
+            r.serial_time.as_secs_f64() * 1e3,
+            r.segments_per_sec() / 1e6,
+            r.segments_per_sec() / base,
+        );
+        assert_eq!(r.torn_frames, 0, "{} shards: torn frames", r.shards);
+        assert!(r.conserved, "{} shards: conservation", r.shards);
+    }
+}
+
+fn print_closed_loop(report: &ShardedPipelineReport) {
+    println!(
+        "{:>6} {:>9} {:>10} {:>8} {:>9} {:>12}",
+        "shard", "offered", "delivered", "dropped", "goodput", "mean delay"
+    );
+    for (s, sr) in report.shards.iter().enumerate() {
+        println!(
+            "{:>6} {:>9} {:>10} {:>8} {:>8.3}G {:>10.1}us",
+            s,
+            sr.offered_pkts,
+            sr.delivered_pkts,
+            sr.dropped_pkts + sr.evicted_pkts,
+            sr.goodput_gbps(),
+            sr.latency_ns.mean() / 1000.0,
+        );
+        assert_eq!(sr.integrity_violations, 0, "shard {s}: torn frames");
+    }
+    let a = &report.aggregate;
+    println!(
+        "{:>6} {:>9} {:>10} {:>8} {:>8.3}G {:>10.1}us",
+        "all",
+        a.offered_pkts,
+        a.delivered_pkts,
+        a.dropped_pkts + a.evicted_pkts,
+        a.goodput_gbps(),
+        a.latency_ns.mean() / 1000.0,
+    );
+    assert_eq!(
+        a.offered_pkts,
+        a.delivered_pkts + a.dropped_pkts + a.evicted_pkts,
+        "aggregate packet conservation"
+    );
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--check") {
-        run_check();
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if args.iter().any(|a| a == "--check") {
+        if flag_value("--json").is_some() {
+            eprintln!(
+                "table7: --json is ignored in --check mode (run without --check for the \
+                 bench artifact; --report writes the determinism document)"
+            );
+        }
+        run_check(flag_value("--report").as_deref());
         return;
     }
 
     let cfg = ShardScaleConfig::table7();
-    let rows = run_rows();
+    let rows = run_rows(1);
     println!("Table 7 (ours): sharded batched engine under Zipf bursty overload");
     println!("=================================================================");
     println!(
@@ -184,37 +460,7 @@ fn main() {
         "model: N independent engines; rate = segments processed / busiest engine's busy time"
     );
     println!();
-    println!(
-        "{:>6} {:>9} {:>9} {:>8} {:>10} {:>9} {:>10} {:>10} {:>8} {:>8}",
-        "shards",
-        "offered",
-        "admitted",
-        "dropped",
-        "delivered",
-        "segments",
-        "critical",
-        "serial",
-        "Mseg/s",
-        "speedup"
-    );
-    let base = rows[0].segments_per_sec();
-    for r in &rows {
-        println!(
-            "{:>6} {:>9} {:>9} {:>8} {:>10} {:>9} {:>8.2}ms {:>8.2}ms {:>8.2} {:>7.2}x",
-            r.shards,
-            r.offered_pkts,
-            r.admitted_pkts,
-            r.dropped_pkts,
-            r.delivered_pkts,
-            r.segments_processed,
-            r.critical_path.as_secs_f64() * 1e3,
-            r.serial_time.as_secs_f64() * 1e3,
-            r.segments_per_sec() / 1e6,
-            r.segments_per_sec() / base,
-        );
-        assert_eq!(r.torn_frames, 0, "{} shards: torn frames", r.shards);
-        assert!(r.conserved, "{} shards: conservation", r.shards);
-    }
+    print_scale_table(&rows);
     println!();
     println!(
         "headline: {:.2}x at 4 shards, {:.2}x at 8 shards over the serialized 1-shard engine",
@@ -222,38 +468,66 @@ fn main() {
         speedup(&rows, 8),
     );
 
-    let loop_report = closed_loop();
+    // --- the real thing: worker threads against the 4-shard workload ---
+    let thread_rows = run_thread_sweep(&cfg, PARALLEL_SHARDS, &THREAD_COUNTS);
     println!();
-    println!("sharded closed loop (4 shards, table6's bursty-overload scenario):");
     println!(
-        "{:>6} {:>9} {:>10} {:>8} {:>9} {:>12}",
-        "shard", "offered", "delivered", "dropped", "goodput", "mean delay"
+        "threads x shards ({PARALLEL_SHARDS} shards, {} cores on this host): \
+         measured wall clock vs the modeled composite",
+        cores()
     );
-    for (s, sr) in loop_report.shards.iter().enumerate() {
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>8} {:>8} {:>18}",
+        "threads", "wall", "speedup", "critical", "steals", "Mseg/s", "fingerprint"
+    );
+    let base_wall = thread_rows[0].wall_clock.as_secs_f64();
+    for r in &thread_rows {
         println!(
-            "{:>6} {:>9} {:>10} {:>8} {:>8.3}G {:>10.1}us",
-            s,
-            sr.offered_pkts,
-            sr.delivered_pkts,
-            sr.dropped_pkts + sr.evicted_pkts,
-            sr.goodput_gbps(),
-            sr.latency_ns.mean() / 1000.0,
+            "{:>7} {:>8.2}ms {:>9.2}x {:>8.2}ms {:>8} {:>8.2} {:#018x}",
+            r.threads,
+            r.wall_clock.as_secs_f64() * 1e3,
+            base_wall / r.wall_clock.as_secs_f64(),
+            r.critical_path.as_secs_f64() * 1e3,
+            r.steals,
+            r.segments_per_sec() / 1e6,
+            r.fingerprint,
         );
-        assert_eq!(sr.integrity_violations, 0, "shard {s}: torn frames");
+        assert_eq!(
+            r.fingerprint, thread_rows[0].fingerprint,
+            "{} threads: deterministic outcome diverged from serial",
+            r.threads
+        );
     }
-    let a = &loop_report.aggregate;
+
+    let loop_local = closed_loop(false);
+    println!();
+    println!("sharded closed loop (4 shards, shard-local C-H, table6's bursty-overload scenario):");
+    print_closed_loop(&loop_local);
+
+    let loop_global = closed_loop_global();
+    println!();
+    println!("sharded closed loop (4 shards, global LQD over a shared buffer):");
+    print_closed_loop(&loop_global);
+    println!();
     println!(
-        "{:>6} {:>9} {:>10} {:>8} {:>8.3}G {:>10.1}us",
-        "all",
-        a.offered_pkts,
-        a.delivered_pkts,
-        a.dropped_pkts + a.evicted_pkts,
-        a.goodput_gbps(),
-        a.latency_ns.mean() / 1000.0,
+        "headline: global LQD delivers {:+.1}% bytes vs shard-local C-H over the same \
+         aggregate buffer ({} vs {} packets)",
+        (loop_global.aggregate.delivered_bytes as f64
+            / loop_local.aggregate.delivered_bytes as f64
+            - 1.0)
+            * 100.0,
+        loop_global.aggregate.delivered_pkts,
+        loop_local.aggregate.delivered_pkts,
     );
-    assert_eq!(
-        a.offered_pkts,
-        a.delivered_pkts + a.dropped_pkts + a.evicted_pkts,
-        "aggregate packet conservation"
-    );
+
+    if let Some(path) = flag_value("--json") {
+        let doc = Json::obj([
+            ("table", "table7".to_json()),
+            ("scale_rows", rows.to_json()),
+            ("thread_rows", thread_rows.to_json()),
+            ("closed_loop_shard_local", loop_local.to_json()),
+            ("closed_loop_global_lqd", loop_global.to_json()),
+        ]);
+        write_file(&path, &doc.pretty());
+    }
 }

@@ -233,6 +233,82 @@ impl ToJson for npqm_mms::perf::Table5Row {
     }
 }
 
+impl ToJson for npqm_traffic::scale::ShardScaleRow {
+    /// The full row, *including* the timing measurements (wall clock,
+    /// busy times, steals). This is the per-commit perf-artifact shape
+    /// (`BENCH_table7.json`); the CI determinism diff uses a separate,
+    /// timing-free document built by `table7 --check --report`.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("shards", self.shards.to_json()),
+            ("threads", self.threads.to_json()),
+            ("offered_pkts", self.offered_pkts.to_json()),
+            ("offered_bytes", self.offered_bytes.to_json()),
+            ("admitted_pkts", self.admitted_pkts.to_json()),
+            ("dropped_pkts", self.dropped_pkts.to_json()),
+            ("admitted_bytes", self.admitted_bytes.to_json()),
+            ("delivered_pkts", self.delivered_pkts.to_json()),
+            ("drained_bytes", self.drained_bytes.to_json()),
+            ("residual_bytes", self.residual_bytes.to_json()),
+            ("segments_processed", self.segments_processed.to_json()),
+            ("segments_per_sec", self.segments_per_sec().to_json()),
+            ("critical_path_us", duration_us(self.critical_path)),
+            ("serial_time_us", duration_us(self.serial_time)),
+            ("wall_clock_us", duration_us(self.wall_clock)),
+            ("steals", self.steals.to_json()),
+            ("torn_frames", self.torn_frames.to_json()),
+            ("conserved", self.conserved.to_json()),
+            (
+                "fingerprint",
+                format!("{:#018x}", self.fingerprint).to_json(),
+            ),
+        ])
+    }
+}
+
+fn duration_us(d: std::time::Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e6)
+}
+
+impl ToJson for npqm_traffic::pipeline::PipelineReport {
+    /// Aggregate counters only (the per-flow breakdown would dominate
+    /// the artifact without adding trajectory signal).
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered_pkts", self.offered_pkts.to_json()),
+            ("offered_bytes", self.offered_bytes.to_json()),
+            ("dropped_pkts", self.dropped_pkts.to_json()),
+            ("evicted_pkts", self.evicted_pkts.to_json()),
+            ("delivered_pkts", self.delivered_pkts.to_json()),
+            ("delivered_bytes", self.delivered_bytes.to_json()),
+            ("goodput_gbps", self.goodput_gbps().to_json()),
+            ("latency_mean_ns", self.latency_ns.mean().to_json()),
+            ("latency_max_ns", self.latency_ns.max().to_json()),
+            ("makespan_ps", self.makespan.as_u64().to_json()),
+            ("integrity_violations", self.integrity_violations.to_json()),
+        ])
+    }
+}
+
+impl ToJson for npqm_traffic::pipeline::ShardedPipelineReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("shards", self.shards.to_json()),
+            ("aggregate", self.aggregate.to_json()),
+            ("shard_of_flow", self.shard_of_flow.to_json()),
+        ])
+    }
+}
+
+impl ToJson for npqm_traffic::pipeline::PolicyOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", self.policy.as_str().to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -269,6 +269,99 @@ pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> 
     })
 }
 
+/// The FNV-1a offset basis — the starting accumulator for
+/// [`fnv1a_fold`] chains such as [`state_digest`].
+pub const FNV_OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Folds one value into an FNV-1a accumulator, byte by byte.
+///
+/// This is the single authoritative hash core behind every determinism
+/// fingerprint in the workspace ([`state_digest`],
+/// [`crate::shard::ShardedQueueManager::state_digest`], the scale
+/// experiment's row fingerprint in `npqm-traffic`): the CI
+/// `parallel-determinism` diff compares these values across thread
+/// counts, so all producers must fold identically.
+pub fn fnv1a_fold(hash: u64, value: u64) -> u64 {
+    value.to_le_bytes().into_iter().fold(hash, |acc, byte| {
+        (acc ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+use fnv1a_fold as fnv1a;
+
+/// A deterministic fingerprint of the engine's complete observable state.
+///
+/// Walks every queue in flow order — packet chains, segment chains and
+/// the **payload bytes** themselves — plus the free-space counters and
+/// the operation statistics, folding everything into one FNV-1a hash.
+/// The walk is side-effect free (it uses the silent accessors, so no
+/// access counter moves), which makes the digest safe to take mid-test.
+///
+/// Two engines with equal digests executed behaviourally identical
+/// histories for every practical purpose; the parallel-equivalence
+/// property tests use this to prove that
+/// [`crate::shard::ShardedQueueManager::execute_batch_parallel`] leaves
+/// *exactly* the state serial replay does, and `table7 --check` includes
+/// it in the machine-readable determinism report.
+pub fn state_digest(qm: &QueueManager) -> u64 {
+    let cfg = &qm.cfg;
+    let pm = &qm.ptr;
+    let mut h = FNV_OFFSET_BASIS;
+    h = fnv1a(h, cfg.num_flows() as u64);
+    h = fnv1a(h, cfg.num_segments() as u64);
+    for f in 0..cfg.num_flows() {
+        let flow = FlowId::new(f);
+        let q = pm.queue_silent(flow);
+        h = fnv1a(h, u64::from(q.pkts));
+        h = fnv1a(h, u64::from(q.complete_pkts));
+        h = fnv1a(h, u64::from(q.segs));
+        h = fnv1a(h, q.bytes);
+        h = fnv1a(h, u64::from(q.open));
+        let mut pid = q.head_pkt;
+        while !pid.is_nil() {
+            let pr = pm.pkt_silent(pid);
+            h = fnv1a(h, u64::from(pr.segs));
+            h = fnv1a(h, u64::from(pr.bytes));
+            h = fnv1a(h, u64::from(pr.started));
+            h = fnv1a(h, u64::from(pr.eop));
+            let mut seg = pr.first;
+            while !seg.is_nil() {
+                let rec = pm.seg_silent(seg);
+                h = fnv1a(h, u64::from(rec.len));
+                for &b in qm.data.read_silent(seg, rec.len as usize) {
+                    h = fnv1a(h, u64::from(b));
+                }
+                if seg == pr.last {
+                    break;
+                }
+                seg = rec.next;
+            }
+            pid = pr.next_pkt;
+        }
+    }
+    h = fnv1a(h, u64::from(qm.free_segments()));
+    h = fnv1a(h, u64::from(qm.free_packet_records()));
+    let s = qm.stats();
+    for v in [
+        s.enqueues,
+        s.dequeues,
+        s.reads,
+        s.overwrites,
+        s.len_overwrites,
+        s.seg_deletes,
+        s.pkt_deletes,
+        s.head_appends,
+        s.tail_appends,
+        s.moves,
+        s.bytes_in,
+        s.bytes_out,
+        s.errors,
+    ] {
+        h = fnv1a(h, v);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

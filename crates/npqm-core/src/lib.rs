@@ -66,5 +66,6 @@ pub use id::{FlowId, PacketId, SegmentId};
 pub use manager::{DequeuedSegment, QueueManager, SegmentPosition};
 pub use policy::{Admission, DropPolicy, DynamicThreshold, LongestQueueDrop, Refusal};
 pub use sar::{Reassembler, Segmenter};
+pub use shard::parallel::{GlobalDropPolicy, GlobalLqd, GlobalOccupancy};
 pub use shard::{ShardedAdmission, ShardedInvariantReport, ShardedQueueManager};
-pub use stats::QmStats;
+pub use stats::{ParallelStats, QmStats};

@@ -240,22 +240,34 @@ impl DropPolicy for LongestQueueDrop {
     }
 }
 
-/// The flow holding the most bytes among those with at least one
-/// complete (evictable) packet.
+/// Whether `flow`'s head packet may be pushed out: at least one complete
+/// packet is queued and the head is not mid-service. `delete_packet`
+/// removes the *head* packet, so evicting while the head is partially
+/// dequeued would erase the tail of a frame whose first segments were
+/// already delivered — exactly the torn-frame class every other path
+/// guards against. Shared by shard-local LQD and the global LQD of
+/// [`crate::shard::parallel`].
+pub(crate) fn evictable(qm: &QueueManager, flow: FlowId) -> bool {
+    qm.complete_packets(flow) > 0 && !qm.head_in_service(flow)
+}
+
+/// The flow holding the most bytes among those with an evictable head
+/// packet (see [`evictable`]).
 ///
 /// Fast path: the engine's occupancy index. When the overall-longest
 /// queue happens to be unevictable (its only content is a mid-SAR open
-/// packet), falls back to a linear scan — rare, since an open packet can
-/// hog the maximum only while its flow out-buffers every other flow.
-fn longest_evictable(qm: &mut QueueManager) -> Option<FlowId> {
+/// packet, or its head is mid-service), falls back to a linear scan —
+/// rare, since such a queue can hog the maximum only while its flow
+/// out-buffers every other flow.
+pub(crate) fn longest_evictable(qm: &mut QueueManager) -> Option<FlowId> {
     if let Some((flow, _)) = qm.longest_queue() {
-        if qm.complete_packets(flow) > 0 {
+        if evictable(qm, flow) {
             return Some(flow);
         }
     }
     (0..qm.config().num_flows())
         .map(FlowId::new)
-        .filter(|&f| qm.complete_packets(f) > 0)
+        .filter(|&f| evictable(qm, f))
         .max_by_key(|&f| qm.queue_len_bytes(f))
 }
 

@@ -105,8 +105,12 @@ use crate::error::QueueError;
 use crate::id::FlowId;
 use crate::manager::QueueManager;
 use crate::policy::{Admission, DropPolicy, Refusal};
-use crate::stats::QmStats;
+use crate::stats::{ParallelStats, QmStats};
 use std::time::{Duration, Instant};
+
+pub mod parallel;
+
+use parallel::GlobalOccupancy;
 
 /// Where a command executes: one shard, or two distinct shards.
 enum Route {
@@ -123,6 +127,10 @@ enum Route {
 pub struct ShardedQueueManager {
     shards: Vec<QueueManager>,
     busy: Vec<Duration>,
+    /// Merged per-shard top-of-heap snapshots (see [`GlobalOccupancy`]).
+    pub(crate) occ: GlobalOccupancy,
+    /// Accounting for the parallel batch executor.
+    pub(crate) pstats: ParallelStats,
 }
 
 impl ShardedQueueManager {
@@ -142,6 +150,8 @@ impl ShardedQueueManager {
                 .map(|_| QueueManager::new(per_shard))
                 .collect(),
             busy: vec![Duration::ZERO; num_shards],
+            occ: GlobalOccupancy::new(num_shards),
+            pstats: ParallelStats::default(),
         }
     }
 
@@ -224,6 +234,71 @@ impl ShardedQueueManager {
     pub fn shard_for_mut(&mut self, flow: FlowId) -> &mut QueueManager {
         let s = self.shard_of(flow);
         &mut self.shards[s]
+    }
+
+    /// Mutable access to all shards at once, for callers that drive the
+    /// engines from their own threads (each element is an independent
+    /// engine; the slice can be split and the pieces sent to different
+    /// workers). The per-shard [busy times](ShardedQueueManager::busy_times)
+    /// and the [occupancy index](ShardedQueueManager::occupancy) are *not*
+    /// maintained through this access path.
+    pub fn shards_mut(&mut self) -> &mut [QueueManager] {
+        &mut self.shards
+    }
+
+    /// The merged per-shard occupancy snapshot (see [`GlobalOccupancy`]).
+    ///
+    /// Kept current by the parallel batch executor (workers publish their
+    /// shard's top after each group) and by
+    /// [`refresh_occupancy`](ShardedQueueManager::refresh_occupancy);
+    /// other mutation paths leave it stale, so policy decisions must
+    /// refresh first.
+    pub fn occupancy(&self) -> &GlobalOccupancy {
+        &self.occ
+    }
+
+    /// Recomputes every shard's longest-queue snapshot and publishes it
+    /// into the [occupancy index](ShardedQueueManager::occupancy).
+    /// Amortised `O(shards · log flows)` via each shard's lazy heap.
+    pub fn refresh_occupancy(&mut self) {
+        for (s, qm) in self.shards.iter_mut().enumerate() {
+            let top = qm.longest_queue();
+            self.occ.publish(s, top);
+        }
+    }
+
+    /// Accounting of the parallel batch executor: phases, groups and
+    /// work-steal events. Steal counts depend on OS scheduling and are
+    /// not deterministic; everything the executor *computes* is.
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.pstats
+    }
+
+    /// Clears the parallel-execution accounting (e.g. after a warm-up).
+    pub fn reset_parallel_stats(&mut self) {
+        self.pstats = ParallelStats::default();
+    }
+
+    /// Segments currently linked into queues, summed over all shards.
+    pub fn used_segments(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|qm| qm.config().num_segments() - qm.free_segments())
+            .sum()
+    }
+
+    /// A deterministic fingerprint of the whole engine: every shard's
+    /// [`crate::check::state_digest`] folded together in shard order.
+    /// Equal digests mean byte-identical queue contents, free-space
+    /// accounting and operation counters — the equality the
+    /// parallel-equivalence property tests and the CI determinism gate
+    /// assert between parallel and serial execution.
+    pub fn state_digest(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(crate::check::FNV_OFFSET_BASIS, |h, qm| {
+                crate::check::fnv1a_fold(h, crate::check::state_digest(qm))
+            })
     }
 
     /// Per-shard busy time accumulated by batch execution

@@ -1,0 +1,921 @@
+//! Thread-parallel batch execution with work stealing, and the global
+//! Longest-Queue-Drop policy over all shards.
+//!
+//! The sharded engine's shards share no state, so a batch's per-shard
+//! command groups can genuinely run on different OS threads — this module
+//! is the executor that does it, plus the cross-shard occupancy index
+//! that lets one buffer-management policy see *all* engines at once:
+//!
+//! * [`ShardedQueueManager::execute_batch_parallel`] /
+//!   [`ShardedAdmission::offer_batch_parallel`] — each phase's per-shard
+//!   groups are sorted longest-first and handed to `std::thread::scope`
+//!   workers through a **lock-free claim counter**: a worker that drains
+//!   its group grabs the next whole group off the shared backlog (the
+//!   longest one still unclaimed), so a pathologically loaded shard never
+//!   leaves the other workers idle. Claims beyond a worker's first are
+//!   counted as steals in [`ParallelStats`](crate::stats::ParallelStats).
+//! * [`GlobalOccupancy`] — one atomic word per shard holding that shard's
+//!   top-of-heap `(flow, bytes)` snapshot. Workers publish their shard's
+//!   top as they finish a group; readers merge the N words into the
+//!   globally longest queue without touching any engine.
+//! * [`GlobalLqd`] — the shared-buffer Longest Queue Drop of Matsakis
+//!   applied across *all* partitions: one global segment budget, and when
+//!   an arrival does not fit, complete packets are pushed out of the
+//!   longest queue anywhere in the system (never a mid-SAR or mid-service
+//!   head) until it does. Shard-local policies can only make the hog pay
+//!   when the hog happens to share their shard; the global policy always
+//!   can.
+//!
+//! # Determinism contract
+//!
+//! For any fixed batch,
+//! [`execute_batch_parallel`](ShardedQueueManager::execute_batch_parallel)
+//! returns the same
+//! results vector, leaves every shard in the same state (see
+//! [`ShardedQueueManager::state_digest`]) and accumulates the same
+//! [`QmStats`](crate::QmStats) as serial
+//! [`execute_batch`](ShardedQueueManager::execute_batch), at **any**
+//! thread count: commands of one shard always run in program order on
+//! exactly one worker at a time, shards share no state, and a cross-shard
+//! command is a barrier resolved in a sequential epilogue between phases.
+//! Only the wall-clock measurements (per-shard busy times) and the steal
+//! counter vary with scheduling. The property tests in
+//! `tests/parallel_equivalence.rs` pin this contract down, and the CI
+//! `parallel-determinism` stage diffs `table7 --check` reports across
+//! thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use npqm_core::manager::SegmentPosition;
+//! use npqm_core::shard::ShardedQueueManager;
+//! use npqm_core::{Command, FlowId, QmConfig};
+//!
+//! let batch: Vec<Command> = (0..32)
+//!     .map(|i| Command::Enqueue {
+//!         flow: FlowId::new(i),
+//!         data: vec![i as u8; 64],
+//!         pos: SegmentPosition::Only,
+//!     })
+//!     .collect();
+//! let mut parallel = ShardedQueueManager::new(QmConfig::small(), 4);
+//! let mut serial = ShardedQueueManager::new(QmConfig::small(), 4);
+//! assert_eq!(
+//!     parallel.execute_batch_parallel(&batch, 4),
+//!     serial.execute_batch(&batch),
+//! );
+//! assert_eq!(parallel.state_digest(), serial.state_digest());
+//! ```
+
+use super::{Route, ShardedAdmission, ShardedQueueManager};
+use crate::command::{Command, Outcome};
+use crate::error::QueueError;
+use crate::id::FlowId;
+use crate::limits::DropReason;
+use crate::manager::QueueManager;
+use crate::policy::{self, Admission, DropPolicy, PolicyStats, Refusal};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Per-shard longest-queue snapshots, merged on read.
+///
+/// One atomic word per shard packs that shard's top-of-heap as
+/// `(bytes saturated to u32) << 32 | (flow index + 1)`, with `0` meaning
+/// "shard is empty". Writers ([`publish`](GlobalOccupancy::publish))
+/// never block readers; [`longest`](GlobalOccupancy::longest) merges the
+/// N words into the globally longest queue. Byte counts above `u32::MAX`
+/// are saturated in the snapshot (they only rank victims; exact counts
+/// stay in the engines).
+///
+/// The index is a *snapshot*, not a live view: it is only as fresh as the
+/// last publish. The parallel executors publish each shard's top as a
+/// worker finishes a group;
+/// [`ShardedQueueManager::refresh_occupancy`] recomputes all of them, and
+/// any policy that makes decisions from the index must refresh first.
+#[derive(Debug)]
+pub struct GlobalOccupancy {
+    tops: Vec<AtomicU64>,
+}
+
+impl GlobalOccupancy {
+    pub(crate) fn new(num_shards: usize) -> Self {
+        GlobalOccupancy {
+            tops: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn pack(top: Option<(FlowId, u64)>) -> u64 {
+        match top {
+            None => 0,
+            Some((flow, bytes)) => (bytes.min(u32::MAX as u64) << 32) | (flow.index() as u64 + 1),
+        }
+    }
+
+    fn unpack(word: u64) -> Option<(FlowId, u64)> {
+        if word == 0 {
+            return None;
+        }
+        Some((FlowId::new((word as u32) - 1), word >> 32))
+    }
+
+    /// Number of per-shard slots.
+    pub fn num_shards(&self) -> usize {
+        self.tops.len()
+    }
+
+    /// Publishes `shard`'s current longest queue (or `None` when empty).
+    pub fn publish(&self, shard: usize, top: Option<(FlowId, u64)>) {
+        self.tops[shard].store(Self::pack(top), Ordering::Release);
+    }
+
+    /// The last published snapshot for `shard`.
+    pub fn top(&self, shard: usize) -> Option<(FlowId, u64)> {
+        Self::unpack(self.tops[shard].load(Ordering::Acquire))
+    }
+
+    /// The longest queue across all shards, as `(shard, flow, bytes)`.
+    ///
+    /// Ties break toward the lowest shard index, so the merge is a pure
+    /// function of the published snapshots.
+    pub fn longest(&self) -> Option<(usize, FlowId, u64)> {
+        let mut best: Option<(usize, FlowId, u64)> = None;
+        for (s, word) in self.tops.iter().enumerate() {
+            if let Some((flow, bytes)) = Self::unpack(word.load(Ordering::Acquire)) {
+                if best.is_none_or(|(_, _, b)| bytes > b) {
+                    best = Some((s, flow, bytes));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Clone for GlobalOccupancy {
+    fn clone(&self) -> Self {
+        GlobalOccupancy {
+            tops: self
+                .tops
+                .iter()
+                .map(|t| AtomicU64::new(t.load(Ordering::Acquire)))
+                .collect(),
+        }
+    }
+}
+
+/// Distributes `items` across `workers` scoped threads through a shared
+/// claim counter and runs `work` on each exactly once.
+///
+/// Items are expected sorted longest-first: the counter hands them out in
+/// order, so a worker that finishes early always claims the longest
+/// *remaining* backlog — whole-group work stealing without a deque. Each
+/// item's mutex is locked exactly once (the counter assigns unique
+/// indices), so the mutex only satisfies the borrow checker; the hand-off
+/// itself is lock-free. Returns the number of steals (claims beyond each
+/// worker's first).
+fn claim_loop<T: Send>(items: &[Mutex<T>], workers: usize, work: impl Fn(&mut T) + Sync) -> u64 {
+    let claim = AtomicUsize::new(0);
+    let steals = AtomicU64::new(0);
+    thread::scope(|sc| {
+        for _ in 0..workers {
+            sc.spawn(|| {
+                let mut first = true;
+                loop {
+                    let k = claim.fetch_add(1, Ordering::Relaxed);
+                    if k >= items.len() {
+                        break;
+                    }
+                    if !first {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    first = false;
+                    let mut item = items[k].lock().expect("a worker panicked");
+                    work(&mut item);
+                }
+            });
+        }
+    });
+    steals.load(Ordering::Relaxed)
+}
+
+/// A batch phase: per-shard groups bounded by an optional cross-shard
+/// barrier command.
+struct Phase {
+    groups: Vec<Vec<usize>>,
+    cross: Option<usize>,
+}
+
+impl ShardedQueueManager {
+    /// Executes a batch with each shard's command groups running on their
+    /// own worker threads, stealing whole groups across shards.
+    ///
+    /// Semantics are identical to
+    /// [`execute_batch`](ShardedQueueManager::execute_batch) — results in
+    /// input order, per-shard program order preserved, cross-shard
+    /// commands acting as barriers (resolved in a sequential epilogue
+    /// between parallel phases, timed against both engines they
+    /// serialize) — and the outcome is **deterministic across thread
+    /// counts** (see the [module docs](self)). `threads == 1` delegates
+    /// to the serial path, which is also the reference the property tests
+    /// replay against.
+    ///
+    /// Group wall-clock is charged to the owning shard's
+    /// [busy time](ShardedQueueManager::busy_times) exactly as in the
+    /// serial path; workers additionally publish each shard's longest
+    /// queue into the [occupancy index](ShardedQueueManager::occupancy)
+    /// as they finish its group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn execute_batch_parallel(
+        &mut self,
+        cmds: &[Command],
+        threads: usize,
+    ) -> Vec<Result<Outcome, QueueError>> {
+        assert!(threads > 0, "need at least one worker thread");
+        if threads == 1 || self.shards.len() == 1 {
+            return self.execute_batch(cmds);
+        }
+        let num_shards = self.shards.len();
+        let mut phases: Vec<Phase> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (i, cmd) in cmds.iter().enumerate() {
+            match self.route(cmd) {
+                Route::One(s) => groups[s].push(i),
+                Route::Two(..) => {
+                    let full = std::mem::replace(&mut groups, vec![Vec::new(); num_shards]);
+                    phases.push(Phase {
+                        groups: full,
+                        cross: Some(i),
+                    });
+                }
+            }
+        }
+        phases.push(Phase {
+            groups,
+            cross: None,
+        });
+
+        let mut results: Vec<Option<Result<Outcome, QueueError>>> = vec![None; cmds.len()];
+        self.pstats.parallel_batches += 1;
+        for phase in phases {
+            self.run_phase(cmds, phase.groups, threads, &mut results);
+            if let Some(ci) = phase.cross {
+                let cmd = cmds[ci].clone();
+                let (a, b) = match self.route(&cmd) {
+                    Route::Two(a, b) => (a, b),
+                    Route::One(_) => unreachable!("phase barriers are two-queue commands"),
+                };
+                let t = Instant::now();
+                let r = self.execute_cross(cmd);
+                let d = t.elapsed();
+                self.busy[a] += d;
+                self.busy[b] += d;
+                results[ci] = Some(r);
+                let top = self.shards[a].longest_queue();
+                self.occ.publish(a, top);
+                let top = self.shards[b].longest_queue();
+                self.occ.publish(b, top);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every command was executed"))
+            .collect()
+    }
+
+    /// Runs one phase's non-empty groups, in parallel when there is more
+    /// than one.
+    fn run_phase(
+        &mut self,
+        cmds: &[Command],
+        groups: Vec<Vec<usize>>,
+        threads: usize,
+        results: &mut [Option<Result<Outcome, QueueError>>],
+    ) {
+        let mut work: Vec<(usize, Vec<usize>)> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .collect();
+        if work.is_empty() {
+            return;
+        }
+        // Longest backlog first (ties toward the lower shard), so the
+        // claim counter hands out the heaviest remaining group.
+        work.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        self.pstats.phases += 1;
+        self.pstats.groups += work.len() as u64;
+
+        if work.len() == 1 {
+            let (s, group) = &work[0];
+            let t = Instant::now();
+            for &i in group {
+                results[i] = Some(self.shards[*s].execute(cmds[i].clone()));
+            }
+            self.busy[*s] += t.elapsed();
+            let top = self.shards[*s].longest_queue();
+            self.occ.publish(*s, top);
+            return;
+        }
+
+        struct Item<'a> {
+            shard: usize,
+            idxs: Vec<usize>,
+            qm: &'a mut QueueManager,
+            out: Vec<Result<Outcome, QueueError>>,
+            busy: Duration,
+        }
+        let occ = &self.occ;
+        let workers = threads.min(work.len());
+        let mut slots: Vec<Option<&mut QueueManager>> = self.shards.iter_mut().map(Some).collect();
+        let items: Vec<Mutex<Item<'_>>> = work
+            .into_iter()
+            .map(|(shard, idxs)| {
+                Mutex::new(Item {
+                    shard,
+                    qm: slots[shard].take().expect("each shard forms one group"),
+                    out: Vec::with_capacity(idxs.len()),
+                    idxs,
+                    busy: Duration::ZERO,
+                })
+            })
+            .collect();
+        let steals = claim_loop(&items, workers, |item: &mut Item<'_>| {
+            let t = Instant::now();
+            for k in 0..item.idxs.len() {
+                let r = item.qm.execute(cmds[item.idxs[k]].clone());
+                item.out.push(r);
+            }
+            item.busy = t.elapsed();
+            occ.publish(item.shard, item.qm.longest_queue());
+        });
+        self.pstats.steals += steals;
+        for m in items {
+            let item = m.into_inner().expect("no worker panicked");
+            self.busy[item.shard] += item.busy;
+            for (i, r) in item.idxs.into_iter().zip(item.out) {
+                results[i] = Some(r);
+            }
+        }
+    }
+}
+
+impl<P: DropPolicy + Send> ShardedAdmission<P> {
+    /// Offers a batch of arrivals with each shard's group running on its
+    /// own worker thread (same claim-counter work stealing as
+    /// [`ShardedQueueManager::execute_batch_parallel`]; groups are sorted
+    /// by *payload bytes*, the better cost proxy for admission work).
+    ///
+    /// Results are identical to
+    /// [`offer_batch`](ShardedAdmission::offer_batch) at any thread
+    /// count: within a shard the arrival order is preserved and policy
+    /// `s` only ever touches engine `s`. Group wall-clock is charged to
+    /// the shard's busy time; steals land in the engine's
+    /// [`parallel_stats`](ShardedQueueManager::parallel_stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or the engine's shard count differs
+    /// from this admission's.
+    pub fn offer_batch_parallel(
+        &mut self,
+        engine: &mut ShardedQueueManager,
+        arrivals: &[(FlowId, &[u8])],
+        threads: usize,
+    ) -> Vec<Result<Admission, Refusal>> {
+        assert!(threads > 0, "need at least one worker thread");
+        assert_eq!(
+            self.policies.len(),
+            engine.num_shards(),
+            "admission and engine shard counts differ"
+        );
+        if threads == 1 || engine.num_shards() == 1 {
+            return self.offer_batch(engine, arrivals);
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); engine.num_shards()];
+        for (i, &(flow, _)) in arrivals.iter().enumerate() {
+            groups[engine.shard_of(flow)].push(i);
+        }
+        let mut work: Vec<(usize, Vec<usize>)> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .collect();
+        if work.is_empty() {
+            return Vec::new();
+        }
+        let bytes_of = |g: &[usize]| -> u64 { g.iter().map(|&i| arrivals[i].1.len() as u64).sum() };
+        work.sort_by(|a, b| bytes_of(&b.1).cmp(&bytes_of(&a.1)).then(a.0.cmp(&b.0)));
+        engine.pstats.parallel_batches += 1;
+        engine.pstats.phases += 1;
+        engine.pstats.groups += work.len() as u64;
+
+        struct Item<'a, P> {
+            shard: usize,
+            idxs: Vec<usize>,
+            qm: &'a mut QueueManager,
+            policy: &'a mut P,
+            out: Vec<Result<Admission, Refusal>>,
+            busy: Duration,
+        }
+        let mut results: Vec<Option<Result<Admission, Refusal>>> = vec![None; arrivals.len()];
+        let workers = threads.min(work.len());
+        let occ = &engine.occ;
+        let mut qslots: Vec<Option<&mut QueueManager>> =
+            engine.shards.iter_mut().map(Some).collect();
+        let mut pslots: Vec<Option<&mut P>> = self.policies.iter_mut().map(Some).collect();
+        let items: Vec<Mutex<Item<'_, P>>> = work
+            .into_iter()
+            .map(|(shard, idxs)| {
+                Mutex::new(Item {
+                    shard,
+                    qm: qslots[shard].take().expect("each shard forms one group"),
+                    policy: pslots[shard].take().expect("one policy per shard"),
+                    out: Vec::with_capacity(idxs.len()),
+                    idxs,
+                    busy: Duration::ZERO,
+                })
+            })
+            .collect();
+        let steals = claim_loop(&items, workers, |item: &mut Item<'_, P>| {
+            let t = Instant::now();
+            for k in 0..item.idxs.len() {
+                let (flow, data) = arrivals[item.idxs[k]];
+                let r = item.policy.offer(item.qm, flow, data);
+                item.out.push(r);
+            }
+            item.busy = t.elapsed();
+            occ.publish(item.shard, item.qm.longest_queue());
+        });
+        engine.pstats.steals += steals;
+        for m in items {
+            let item = m.into_inner().expect("no worker panicked");
+            engine.busy[item.shard] += item.busy;
+            for (i, r) in item.idxs.into_iter().zip(item.out) {
+                results[i] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every arrival was offered"))
+            .collect()
+    }
+}
+
+/// A buffer-management policy that sees the **whole sharded engine** —
+/// every partition at once — instead of a single shard.
+///
+/// This is the cross-partition analogue of
+/// [`DropPolicy`]: [`ShardedAdmission`] adapts any per-shard policy to
+/// the interface (each arrival still only consults its home shard), while
+/// [`GlobalLqd`] makes genuinely global decisions.
+pub trait GlobalDropPolicy {
+    /// A short stable name for reports ("global-lqd", ...).
+    fn name(&self) -> &str;
+
+    /// Offers one whole packet for admission on `flow`'s home shard,
+    /// with eviction decisions drawn from the entire engine.
+    ///
+    /// # Errors
+    ///
+    /// The [`Refusal`] that applied; victims in
+    /// [`Refusal::evicted`] / [`Admission::evicted`] may belong to *any*
+    /// shard.
+    fn offer_global(
+        &mut self,
+        engine: &mut ShardedQueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal>;
+}
+
+impl<P: DropPolicy> GlobalDropPolicy for ShardedAdmission<P> {
+    fn name(&self) -> &str {
+        self.policies[0].name()
+    }
+
+    fn offer_global(
+        &mut self,
+        engine: &mut ShardedQueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal> {
+        self.offer(engine, flow, packet)
+    }
+}
+
+/// Longest Queue Drop over **all** shards: one shared segment budget,
+/// with push-out from the globally longest queue.
+///
+/// Shard-local policies ([`ShardedAdmission`]) express the
+/// partitioned-buffer regime: each engine guards its own memory, and a
+/// burst on one partition can drop traffic there while another partition
+/// sits empty. `GlobalLqd` expresses the *shared-buffer* regime of the
+/// paper's MMS (one data memory behind all engines) on top of the same
+/// sharded engine: admission is bounded by a single global budget, and
+/// when an arrival does not fit, complete packets are evicted from the
+/// longest queue **anywhere in the system** — found through the
+/// [`GlobalOccupancy`] snapshot, refreshed before every decision — until
+/// it does. Queues whose head is mid-SAR or mid-service are never
+/// victims (the shard-local safety rules still hold).
+///
+/// # Pairing with the engine
+///
+/// The policy is meant for an engine built with
+/// [`ShardedQueueManager::new`] where each shard is configured with the
+/// *full* shared buffer and `budget_segments` equals that size: physical
+/// space then never binds before the global budget, so this behaves
+/// exactly like Matsakis' single shared-memory switch with flows
+/// partitioned across engines. On a
+/// [`partitioned`](ShardedQueueManager::partitioned) engine it still
+/// works, but a full home partition can refuse an arrival that the
+/// global budget would admit (reported as an engine refusal).
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::shard::parallel::{GlobalDropPolicy, GlobalLqd};
+/// use npqm_core::shard::ShardedQueueManager;
+/// use npqm_core::{FlowId, QmConfig};
+///
+/// let cfg = QmConfig::builder()
+///     .num_flows(16)
+///     .num_segments(4)
+///     .segment_bytes(64)
+///     .build()
+///     .unwrap();
+/// // Shared-buffer pairing: every shard can hold the whole budget.
+/// let mut engine = ShardedQueueManager::new(cfg, 2);
+/// let mut lqd = GlobalLqd::new(4, 0);
+/// // One flow fills the entire shared budget from its home shard...
+/// for _ in 0..4 {
+///     lqd.offer_global(&mut engine, FlowId::new(0), &[0u8; 64]).unwrap();
+/// }
+/// // ...and an arrival homed on the *other* shard still gets in: the
+/// // globally longest queue pays, across the partition boundary.
+/// let hog_shard = engine.shard_of(FlowId::new(0));
+/// let other = (1..16)
+///     .map(FlowId::new)
+///     .find(|&f| engine.shard_of(f) != hog_shard)
+///     .unwrap();
+/// let adm = lqd.offer_global(&mut engine, other, &[1u8; 64]).unwrap();
+/// assert_eq!(adm.evicted, vec![(FlowId::new(0), 64)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalLqd {
+    budget_segments: u32,
+    reserve_segments: u32,
+    stats: PolicyStats,
+}
+
+impl GlobalLqd {
+    /// Creates the policy with a global budget of `budget_segments`
+    /// across all shards, keeping `reserve_segments` of it free for
+    /// flows with packets mid-assembly.
+    pub fn new(budget_segments: u32, reserve_segments: u32) -> Self {
+        GlobalLqd {
+            budget_segments,
+            reserve_segments,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// The shared-buffer pairing for `engine`: a budget of one shard's
+    /// full segment space (every shard of a
+    /// [`ShardedQueueManager::new`]-built engine is configured with the
+    /// whole shared buffer).
+    pub fn shared(engine: &ShardedQueueManager, reserve_segments: u32) -> Self {
+        GlobalLqd::new(engine.shard(0).config().num_segments(), reserve_segments)
+    }
+
+    /// Admission/eviction statistics.
+    pub const fn stats(&self) -> &PolicyStats {
+        &self.stats
+    }
+
+    /// The global segment budget.
+    pub const fn budget_segments(&self) -> u32 {
+        self.budget_segments
+    }
+
+    /// The globally longest queue with an evictable head packet.
+    ///
+    /// Fast path: refresh the occupancy snapshot and take its merged
+    /// maximum if evictable. Fallback (the maximum is a mid-SAR or
+    /// mid-service hog): a deterministic full scan — shards in index
+    /// order, keeping the first queue of maximal byte count.
+    fn longest_evictable_global(engine: &mut ShardedQueueManager) -> Option<(usize, FlowId)> {
+        engine.refresh_occupancy();
+        if let Some((s, flow, _)) = engine.occ.longest() {
+            if policy::evictable(&engine.shards[s], flow) {
+                return Some((s, flow));
+            }
+        }
+        let mut best: Option<(u64, usize, FlowId)> = None;
+        for (s, qm) in engine.shards.iter().enumerate() {
+            for f in 0..qm.config().num_flows() {
+                let flow = FlowId::new(f);
+                if !policy::evictable(qm, flow) {
+                    continue;
+                }
+                let bytes = qm.queue_len_bytes(flow);
+                if best.is_none_or(|(b, _, _)| bytes > b) {
+                    best = Some((bytes, s, flow));
+                }
+            }
+        }
+        best.map(|(_, s, flow)| (s, flow))
+    }
+}
+
+impl GlobalDropPolicy for GlobalLqd {
+    fn name(&self) -> &str {
+        "global-lqd"
+    }
+
+    fn offer_global(
+        &mut self,
+        engine: &mut ShardedQueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal> {
+        let home = engine.shard_of(flow);
+        let seg_bytes = engine.shards[home].config().segment_bytes() as usize;
+        let needed = packet.len().div_ceil(seg_bytes) as u32;
+        if needed + self.reserve_segments > self.budget_segments {
+            self.stats.dropped += 1;
+            return Err(Refusal::from(DropReason::GlobalReserve));
+        }
+        let mut admission = Admission::default();
+        while engine.used_segments() + needed + self.reserve_segments > self.budget_segments {
+            let Some((vs, vf)) = Self::longest_evictable_global(engine) else {
+                self.stats.dropped += 1;
+                return Err(Refusal {
+                    reason: DropReason::GlobalReserve,
+                    evicted: admission.evicted,
+                });
+            };
+            let (_segs, bytes) = engine.shards[vs]
+                .delete_packet(vf)
+                .expect("victim has an evictable head packet");
+            self.stats.evicted_packets += 1;
+            self.stats.evicted_bytes += bytes as u64;
+            admission.evicted.push((vf, bytes));
+        }
+        match engine.shards[home].enqueue_packet(flow, packet) {
+            Ok(()) => {
+                self.stats.admitted += 1;
+                Ok(admission)
+            }
+            Err(e) => {
+                self.stats.dropped += 1;
+                Err(Refusal {
+                    reason: DropReason::Engine(e),
+                    evicted: admission.evicted,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QmConfig;
+    use crate::manager::SegmentPosition;
+    use crate::policy::DynamicThreshold;
+
+    fn cfg(segments: u32) -> QmConfig {
+        QmConfig::builder()
+            .num_flows(16)
+            .num_segments(segments)
+            .segment_bytes(64)
+            .build()
+            .unwrap()
+    }
+
+    fn enqueue_cmd(flow: u32, byte: u8, len: usize) -> Command {
+        Command::Enqueue {
+            flow: FlowId::new(flow),
+            data: vec![byte; len],
+            pos: SegmentPosition::Only,
+        }
+    }
+
+    fn mixed_batch() -> Vec<Command> {
+        let mut cmds = Vec::new();
+        for f in 0..16u32 {
+            cmds.push(enqueue_cmd(f, f as u8, 40 + 11 * f as usize));
+        }
+        for f in 0..16u32 {
+            cmds.push(Command::Move {
+                src: FlowId::new(f),
+                dst: FlowId::new((f + 3) % 16),
+            });
+        }
+        for f in 0..16u32 {
+            cmds.push(Command::Dequeue {
+                flow: FlowId::new((f + 3) % 16),
+            });
+        }
+        cmds
+    }
+
+    #[test]
+    fn parallel_matches_serial_including_cross_shard_barriers() {
+        let cmds = mixed_batch();
+        let mut serial = ShardedQueueManager::new(cfg(64), 4);
+        let expected = serial.execute_batch(&cmds);
+        for threads in [2usize, 3, 4, 8] {
+            let mut par = ShardedQueueManager::new(cfg(64), 4);
+            let got = par.execute_batch_parallel(&cmds, threads);
+            assert_eq!(got, expected, "threads={threads}");
+            assert_eq!(par.stats(), serial.stats(), "threads={threads}");
+            assert_eq!(
+                par.state_digest(),
+                serial.state_digest(),
+                "threads={threads}"
+            );
+            par.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn one_thread_is_the_serial_path() {
+        let cmds = mixed_batch();
+        let mut a = ShardedQueueManager::new(cfg(64), 4);
+        let mut b = ShardedQueueManager::new(cfg(64), 4);
+        assert_eq!(a.execute_batch_parallel(&cmds, 1), b.execute_batch(&cmds));
+        assert_eq!(a.parallel_stats(), crate::stats::ParallelStats::default());
+    }
+
+    #[test]
+    fn steals_occur_when_groups_outnumber_workers() {
+        // Flows 0..16 hash onto 3 of the 4 shards, so the batch forms 3
+        // non-empty groups. With 2 workers at least one group is claimed
+        // by a worker that already drained one — a guaranteed steal, on
+        // any scheduler: steals = successful claims − workers that
+        // claimed at least once ≥ groups − workers.
+        let mut e = ShardedQueueManager::new(cfg(256), 4);
+        let cmds: Vec<Command> = (0..64u32).map(|f| enqueue_cmd(f % 16, 1, 64)).collect();
+        e.execute_batch_parallel(&cmds, 2);
+        let ps = e.parallel_stats();
+        assert_eq!(ps.parallel_batches, 1);
+        assert!(ps.groups >= 3, "flows 0..16 span at least 3 shards");
+        assert!(
+            ps.steals >= ps.groups - 2,
+            "with 2 workers, every group beyond the first two is a steal: {ps:?}"
+        );
+    }
+
+    #[test]
+    fn offer_batch_parallel_matches_serial() {
+        let payloads: Vec<(FlowId, Vec<u8>)> = (0..60u32)
+            .map(|i| (FlowId::new(i % 16), vec![i as u8; 40 + (i as usize % 90)]))
+            .collect();
+        let arrivals: Vec<(FlowId, &[u8])> =
+            payloads.iter().map(|(f, p)| (*f, p.as_slice())).collect();
+        let mut e1 = ShardedQueueManager::new(cfg(16), 4);
+        let mut adm1 = ShardedAdmission::from_fn(4, |_| DynamicThreshold::new(1.0));
+        let serial = adm1.offer_batch(&mut e1, &arrivals);
+        for threads in [2usize, 4] {
+            let mut e2 = ShardedQueueManager::new(cfg(16), 4);
+            let mut adm2 = ShardedAdmission::from_fn(4, |_| DynamicThreshold::new(1.0));
+            let par = adm2.offer_batch_parallel(&mut e2, &arrivals, threads);
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(e1.state_digest(), e2.state_digest(), "threads={threads}");
+            e2.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn occupancy_snapshot_publishes_and_merges() {
+        let occ = GlobalOccupancy::new(3);
+        assert_eq!(occ.longest(), None);
+        occ.publish(0, Some((FlowId::new(4), 100)));
+        occ.publish(2, Some((FlowId::new(7), 300)));
+        assert_eq!(occ.top(1), None);
+        assert_eq!(occ.longest(), Some((2, FlowId::new(7), 300)));
+        // Ties break toward the lowest shard.
+        occ.publish(1, Some((FlowId::new(9), 300)));
+        assert_eq!(occ.longest(), Some((1, FlowId::new(9), 300)));
+        occ.publish(2, None);
+        occ.publish(1, None);
+        assert_eq!(occ.longest(), Some((0, FlowId::new(4), 100)));
+        // Saturation: byte counts above u32::MAX still rank highest.
+        occ.publish(1, Some((FlowId::new(0), u64::MAX)));
+        assert_eq!(occ.longest(), Some((1, FlowId::new(0), u32::MAX as u64)));
+    }
+
+    #[test]
+    fn workers_publish_occupancy_tops() {
+        let mut e = ShardedQueueManager::new(cfg(256), 4);
+        let cmds: Vec<Command> = (0..32u32).map(|f| enqueue_cmd(f % 16, 2, 100)).collect();
+        e.execute_batch_parallel(&cmds, 4);
+        // Every shard that holds data published a top.
+        for s in 0..4 {
+            let holds: u64 = (0..16)
+                .map(|f| e.shard(s).queue_len_bytes(FlowId::new(f)))
+                .sum();
+            if holds > 0 {
+                let (_, bytes) = e.occupancy().top(s).expect("loaded shard published");
+                assert!(bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn global_lqd_respects_reserve_and_refuses_oversize() {
+        let mut e = ShardedQueueManager::new(cfg(8), 2);
+        let mut lqd = GlobalLqd::new(8, 2);
+        assert!(matches!(
+            lqd.offer_global(&mut e, FlowId::new(0), &[0u8; 64 * 7]),
+            Err(Refusal {
+                reason: DropReason::GlobalReserve,
+                ..
+            })
+        ));
+        for _ in 0..6 {
+            lqd.offer_global(&mut e, FlowId::new(0), &[0u8; 64])
+                .unwrap();
+        }
+        // The 7th would dip into the reserve: push-out keeps it intact.
+        lqd.offer_global(&mut e, FlowId::new(1), &[1u8; 64])
+            .unwrap();
+        assert_eq!(e.used_segments(), 6);
+        assert_eq!(lqd.stats().evicted_packets, 1);
+        e.verify().unwrap();
+    }
+
+    #[test]
+    fn global_lqd_skips_unevictable_queues() {
+        // Shard A holds an open (mid-SAR) 2-segment packet — the longest
+        // queue — while shard B holds a complete 1-segment packet. The
+        // next arrival must evict from B, not give up on A's hog.
+        let mut e = ShardedQueueManager::new(cfg(4), 2);
+        let hog = FlowId::new(0);
+        let hog_shard = e.shard_of(hog);
+        let small = (1..16)
+            .map(FlowId::new)
+            .find(|&f| e.shard_of(f) != hog_shard)
+            .unwrap();
+        e.shard_for_mut(hog)
+            .enqueue(hog, &[9u8; 64], SegmentPosition::First)
+            .unwrap();
+        e.shard_for_mut(hog)
+            .enqueue(hog, &[9u8; 64], SegmentPosition::Middle)
+            .unwrap();
+        let mut lqd = GlobalLqd::new(4, 0);
+        lqd.offer_global(&mut e, small, &[1u8; 64]).unwrap();
+        assert_eq!(e.used_segments(), 3);
+        let adm = lqd
+            .offer_global(&mut e, FlowId::new(2), &[2u8; 128])
+            .unwrap();
+        assert_eq!(adm.evicted, vec![(small, 64)]);
+        e.verify().unwrap();
+    }
+
+    #[test]
+    fn global_lqd_refusal_reports_collateral_evictions() {
+        let mut e = ShardedQueueManager::new(cfg(4), 2);
+        let hog = FlowId::new(0);
+        let hog_shard = e.shard_of(hog);
+        let other = (1..16)
+            .map(FlowId::new)
+            .find(|&f| e.shard_of(f) != hog_shard)
+            .unwrap();
+        let mut lqd = GlobalLqd::new(4, 0);
+        lqd.offer_global(&mut e, other, &[1u8; 64]).unwrap();
+        // Fill the rest of the budget with an unevictable open packet.
+        e.shard_for_mut(hog)
+            .enqueue(hog, &[9u8; 64], SegmentPosition::First)
+            .unwrap();
+        e.shard_for_mut(hog)
+            .enqueue(hog, &[9u8; 64], SegmentPosition::Middle)
+            .unwrap();
+        e.shard_for_mut(hog)
+            .enqueue(hog, &[9u8; 64], SegmentPosition::Middle)
+            .unwrap();
+        // A 2-segment arrival can evict `other`'s packet but then runs
+        // out of victims: the refusal must carry the collateral.
+        let refusal = lqd
+            .offer_global(&mut e, FlowId::new(2), &[2u8; 128])
+            .unwrap_err();
+        assert_eq!(refusal.reason, DropReason::GlobalReserve);
+        assert_eq!(refusal.evicted, vec![(other, 64)]);
+        e.verify().unwrap();
+    }
+
+    #[test]
+    fn sharded_admission_is_a_global_drop_policy() {
+        let mut e = ShardedQueueManager::new(cfg(64), 2);
+        let mut adm = ShardedAdmission::from_fn(2, |_| DynamicThreshold::new(2.0));
+        let p: &mut dyn GlobalDropPolicy = &mut adm;
+        assert_eq!(p.name(), "dyn-threshold");
+        p.offer_global(&mut e, FlowId::new(3), &[3u8; 64]).unwrap();
+        assert_eq!(e.stats().enqueues, 1);
+    }
+}

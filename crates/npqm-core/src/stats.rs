@@ -101,9 +101,62 @@ impl QmStats {
     }
 }
 
+/// Accounting for the thread-parallel batch executor
+/// ([`crate::shard::ShardedQueueManager::execute_batch_parallel`]).
+///
+/// The counters describe the *shape* of the parallel run — how many
+/// batches went through the parallel path, how many barrier-delimited
+/// phases and per-shard groups they contained, and how often an idle
+/// worker stole a whole group from the shared backlog. `steals` depends
+/// on OS scheduling and is therefore **not** deterministic across runs;
+/// everything a run *computes* (results, engine state, reports) still is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelStats {
+    /// Batches executed through the parallel path.
+    pub parallel_batches: u64,
+    /// Barrier-delimited phases (a cross-shard command ends a phase).
+    pub phases: u64,
+    /// Per-shard command groups executed by workers.
+    pub groups: u64,
+    /// Groups claimed by a worker that had already drained its first
+    /// assignment — whole-group work stealing from the shared backlog.
+    pub steals: u64,
+}
+
+impl ParallelStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn absorb(&mut self, other: &ParallelStats) {
+        self.parallel_batches += other.parallel_batches;
+        self.phases += other.phases;
+        self.groups += other.groups;
+        self.steals += other.steals;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_stats_absorb_adds_every_field() {
+        let one = ParallelStats {
+            parallel_batches: 1,
+            phases: 2,
+            groups: 3,
+            steals: 4,
+        };
+        let mut acc = one;
+        acc.absorb(&one);
+        assert_eq!(
+            acc,
+            ParallelStats {
+                parallel_batches: 2,
+                phases: 4,
+                groups: 6,
+                steals: 8,
+            }
+        );
+    }
 
     #[test]
     fn totals_sum_all_operation_kinds() {

@@ -1,0 +1,290 @@
+//! Property tests: thread-parallel batch execution is behaviourally
+//! identical to serial replay — the determinism contract of
+//! `shard::parallel`.
+//!
+//! Three equivalences are checked over random command vectors (including
+//! error paths and cross-shard moves/copies, which act as phase
+//! barriers):
+//!
+//! 1. [`ShardedQueueManager::execute_batch_parallel`] at 2–4 worker
+//!    threads yields byte-identical outcomes, counters and full
+//!    engine-state digests to serial
+//!    [`ShardedQueueManager::execute_batch`];
+//! 2. a batch with a **pathologically long group** on one shard still
+//!    matches serial replay, *and* the work-stealing path demonstrably
+//!    ran (steal counter > 0) — idle workers claimed whole groups off
+//!    the loaded backlog;
+//! 3. [`ShardedAdmission::offer_batch_parallel`] matches serial
+//!    [`ShardedAdmission::offer_batch`] decision for decision, and
+//!    [`GlobalLqd`] admission over the shared buffer is a pure function
+//!    of the arrival sequence (identical twice over, conserving the
+//!    global budget and never evicting an unevictable head).
+
+use npqm_core::check::state_digest;
+use npqm_core::manager::SegmentPosition;
+use npqm_core::shard::parallel::{GlobalDropPolicy, GlobalLqd};
+use npqm_core::shard::{ShardedAdmission, ShardedQueueManager};
+use npqm_core::{Command, DynamicThreshold, FlowId, QmConfig};
+use proptest::prelude::*;
+
+const FLOWS: u32 = 8;
+
+/// Abstract operation, materialized into one or more [`Command`]s.
+/// Single-queue ops plus the two-queue barriers the parallel executor
+/// must sequence correctly.
+#[derive(Debug, Clone)]
+enum Op {
+    EnqueuePacket { flow: u32, len: usize },
+    OpenTail { flow: u32 },
+    Dequeue { flow: u32 },
+    Read { flow: u32 },
+    DeletePacket { flow: u32 },
+    AppendTail { flow: u32, len: usize },
+    Move { src: u32, dst: u32 },
+    Copy { src: u32, dst: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..FLOWS, 1usize..200).prop_map(|(flow, len)| Op::EnqueuePacket { flow, len }),
+        (0..FLOWS, 1usize..200).prop_map(|(flow, len)| Op::EnqueuePacket { flow, len }),
+        (0..FLOWS).prop_map(|flow| Op::OpenTail { flow }),
+        (0..FLOWS).prop_map(|flow| Op::Dequeue { flow }),
+        (0..FLOWS).prop_map(|flow| Op::Dequeue { flow }),
+        (0..FLOWS).prop_map(|flow| Op::Read { flow }),
+        (0..FLOWS).prop_map(|flow| Op::DeletePacket { flow }),
+        (0..FLOWS, 1usize..32).prop_map(|(flow, len)| Op::AppendTail { flow, len }),
+        (0..FLOWS, 0..FLOWS).prop_map(|(src, dst)| Op::Move { src, dst }),
+        (0..FLOWS, 0..FLOWS).prop_map(|(src, dst)| Op::Copy { src, dst }),
+    ]
+}
+
+fn payload(tag: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (tag as usize).wrapping_add(i) as u8)
+        .collect()
+}
+
+fn materialize(ops: &[Op]) -> Vec<Command> {
+    let mut cmds = Vec::new();
+    let mut tag = 0u64;
+    for op in ops {
+        tag += 1;
+        match *op {
+            Op::EnqueuePacket { flow, len } => {
+                let data = payload(tag, len);
+                let n = data.len().div_ceil(64);
+                for (i, chunk) in data.chunks(64).enumerate() {
+                    cmds.push(Command::Enqueue {
+                        flow: FlowId::new(flow),
+                        data: chunk.to_vec(),
+                        pos: SegmentPosition::from_flags(i == 0, i == n - 1),
+                    });
+                }
+            }
+            Op::OpenTail { flow } => cmds.push(Command::Enqueue {
+                flow: FlowId::new(flow),
+                data: payload(tag, 24),
+                pos: SegmentPosition::First,
+            }),
+            Op::Dequeue { flow } => cmds.push(Command::Dequeue {
+                flow: FlowId::new(flow),
+            }),
+            Op::Read { flow } => cmds.push(Command::Read {
+                flow: FlowId::new(flow),
+            }),
+            Op::DeletePacket { flow } => cmds.push(Command::DeletePacket {
+                flow: FlowId::new(flow),
+            }),
+            Op::AppendTail { flow, len } => cmds.push(Command::AppendTail {
+                flow: FlowId::new(flow),
+                data: payload(tag, len),
+            }),
+            Op::Move { src, dst } => cmds.push(Command::Move {
+                src: FlowId::new(src),
+                dst: FlowId::new(dst),
+            }),
+            Op::Copy { src, dst } => cmds.push(Command::Copy {
+                src: FlowId::new(src),
+                dst: FlowId::new(dst),
+            }),
+        }
+    }
+    cmds
+}
+
+fn small_cfg() -> QmConfig {
+    QmConfig::builder()
+        .num_flows(FLOWS)
+        .num_segments(128)
+        .segment_bytes(64)
+        .build()
+        .unwrap()
+}
+
+/// Full engine equality: per-shard state digests (payload bytes, queue
+/// structure, free lists, operation counters).
+fn assert_same_engines(a: &ShardedQueueManager, b: &ShardedQueueManager) {
+    assert_eq!(a.num_shards(), b.num_shards());
+    for s in 0..a.num_shards() {
+        assert_eq!(
+            state_digest(a.shard(s)),
+            state_digest(b.shard(s)),
+            "shard {s} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The core determinism contract, over random batches including
+    /// cross-shard barriers, at several thread counts.
+    #[test]
+    fn parallel_batch_equals_serial_replay(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        threads in 2usize..5,
+    ) {
+        let cmds = materialize(&ops);
+        let mut serial = ShardedQueueManager::new(small_cfg(), 4);
+        let expected = serial.execute_batch(&cmds);
+
+        let mut parallel = ShardedQueueManager::new(small_cfg(), 4);
+        let got = parallel.execute_batch_parallel(&cmds, threads);
+
+        prop_assert_eq!(&got, &expected, "outcomes must be byte-identical");
+        prop_assert_eq!(parallel.stats(), serial.stats(), "counters must match");
+        assert_same_engines(&parallel, &serial);
+        parallel.verify().unwrap();
+    }
+
+    /// The work-stealing satellite: one shard gets a pathologically long
+    /// command group (a hog flow with hundreds of enqueue/dequeue
+    /// round-trips prepended to the random tail), run on 2 workers.
+    /// (a) stealing occurred — the claim counter handed whole groups to
+    /// a worker that had already drained its first; (b) the results
+    /// still equal serial replay exactly.
+    #[test]
+    fn pathological_group_steals_and_stays_equal(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        hog_round_trips in 100usize..250,
+    ) {
+        // Flows 0, 1 and 2 live on three different shards (see
+        // `routing_is_stable_and_total` in npqm-core); flow 0 is the hog.
+        let mut cmds = Vec::new();
+        for i in 0..hog_round_trips {
+            cmds.push(Command::Enqueue {
+                flow: FlowId::new(0),
+                data: payload(i as u64, 64),
+                pos: SegmentPosition::Only,
+            });
+            cmds.push(Command::Dequeue { flow: FlowId::new(0) });
+        }
+        for f in [1u32, 2] {
+            cmds.push(Command::Enqueue {
+                flow: FlowId::new(f),
+                data: payload(f as u64, 64),
+                pos: SegmentPosition::Only,
+            });
+        }
+        // Random single-queue tail (drop the two-queue ops so the batch
+        // stays one phase — the steal guarantee is per phase).
+        cmds.extend(
+            materialize(&ops)
+                .into_iter()
+                .filter(|c| c.secondary_flow().is_none()),
+        );
+
+        let mut serial = ShardedQueueManager::new(small_cfg(), 4);
+        let expected = serial.execute_batch(&cmds);
+
+        let mut parallel = ShardedQueueManager::new(small_cfg(), 4);
+        let got = parallel.execute_batch_parallel(&cmds, 2);
+
+        let ps = parallel.parallel_stats();
+        prop_assert!(ps.groups >= 3, "flows 0..3 span three shards: {ps:?}");
+        prop_assert!(
+            ps.steals > 0,
+            "2 workers over {} groups must steal at least once: {ps:?}",
+            ps.groups
+        );
+        prop_assert_eq!(&got, &expected, "stolen groups must not reorder results");
+        assert_same_engines(&parallel, &serial);
+        parallel.verify().unwrap();
+    }
+
+    /// Parallel admission matches serial admission decision for
+    /// decision, across shard-local Choudhury–Hahne policies.
+    #[test]
+    fn parallel_admission_equals_serial(
+        arrivals in proptest::collection::vec(
+            (0..FLOWS, 1usize..180),
+            1..120,
+        ),
+        threads in 2usize..5,
+    ) {
+        let payloads: Vec<(FlowId, Vec<u8>)> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &(f, len))| (FlowId::new(f), payload(i as u64, len)))
+            .collect();
+        let refs: Vec<(FlowId, &[u8])> =
+            payloads.iter().map(|(f, p)| (*f, p.as_slice())).collect();
+
+        let mut e1 = ShardedQueueManager::new(small_cfg(), 4);
+        let mut adm1 = ShardedAdmission::from_fn(4, |_| DynamicThreshold::new(1.5));
+        let expected = adm1.offer_batch(&mut e1, &refs);
+
+        let mut e2 = ShardedQueueManager::new(small_cfg(), 4);
+        let mut adm2 = ShardedAdmission::from_fn(4, |_| DynamicThreshold::new(1.5));
+        let got = adm2.offer_batch_parallel(&mut e2, &refs, threads);
+
+        prop_assert_eq!(&got, &expected);
+        assert_same_engines(&e1, &e2);
+        e2.verify().unwrap();
+    }
+
+    /// Global LQD over the shared buffer: a pure function of the arrival
+    /// sequence (bit-identical on a second run), conserving the global
+    /// budget and passing full verification throughout.
+    #[test]
+    fn global_lqd_is_deterministic_and_budget_bounded(
+        arrivals in proptest::collection::vec(
+            (0..FLOWS, 1usize..200),
+            1..80,
+        ),
+    ) {
+        let budget = 24u32;
+        let run = || {
+            let mut engine = ShardedQueueManager::new(
+                QmConfig::builder()
+                    .num_flows(FLOWS)
+                    .num_segments(budget)
+                    .segment_bytes(64)
+                    .build()
+                    .unwrap(),
+                4,
+            );
+            let mut lqd = GlobalLqd::new(budget, 0);
+            let outcomes: Vec<bool> = arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &(f, len))| {
+                    let data = payload(i as u64, len);
+                    let r = lqd.offer_global(&mut engine, FlowId::new(f), &data);
+                    assert!(
+                        engine.used_segments() <= budget,
+                        "global budget exceeded: {} > {budget}",
+                        engine.used_segments()
+                    );
+                    r.is_ok()
+                })
+                .collect();
+            engine.verify().unwrap();
+            (outcomes, engine.state_digest(), *lqd.stats())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b, "global LQD must be a pure function of the arrivals");
+    }
+}

@@ -19,10 +19,14 @@
 //!   flows partitioned across independent
 //!   [`npqm_core::shard::ShardedQueueManager`] shards, each with its own
 //!   admission policy, scheduler and egress server — with per-shard and
-//!   aggregate reports;
+//!   aggregate reports, optionally running each shard's loop on its own
+//!   thread (byte-identical to serial), and a global-LQD mode that
+//!   shares one buffer budget across all partitions;
 //! * [`scale`] — the shard-scaling throughput experiment behind
 //!   `table7`: segments/sec versus shard count under the Zipf
-//!   bursty-overload mix, with a full conservation/torn-frame ledger;
+//!   bursty-overload mix, with a full conservation/torn-frame ledger, a
+//!   threads×shards wall-clock sweep of the parallel batch executor and
+//!   a deterministic end-state fingerprint per row;
 //! * [`apps`] — the six paper applications implemented over
 //!   [`npqm_core::QueueManager`], used by the examples and integration
 //!   tests.

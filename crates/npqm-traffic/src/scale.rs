@@ -39,7 +39,19 @@ use npqm_core::shard::{ShardedAdmission, ShardedQueueManager};
 use npqm_core::{Command, FlowId, Outcome, QmConfig};
 use npqm_sim::rng::Xoshiro256pp;
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Worker-thread count from the `NPQM_THREADS` environment variable
+/// (default 1 — the serial reference path). This is the knob the CI
+/// `parallel-determinism` stage turns: `table7 --check` must produce
+/// byte-identical machine-readable reports at any value.
+pub fn threads_from_env() -> usize {
+    std::env::var("NPQM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(1)
+}
 
 /// Configuration of one shard-scaling run.
 #[derive(Debug, Clone)]
@@ -102,6 +114,11 @@ impl ShardScaleConfig {
 pub struct ShardScaleRow {
     /// Number of shards (independent engines).
     pub shards: usize,
+    /// Worker threads the batches ran on (1 = the serial reference
+    /// path). Every field except the timing measurements (`busy`,
+    /// `critical_path`, `serial_time`, `wall_clock`) and `steals` is
+    /// identical across thread counts for a fixed configuration.
+    pub threads: usize,
     /// Packets the mix offered for admission.
     pub offered_pkts: u64,
     /// Payload bytes offered (identical across shard counts: the offered
@@ -129,6 +146,14 @@ pub struct ShardScaleRow {
     pub critical_path: Duration,
     /// Total busy time (what one serialized engine would pay).
     pub serial_time: Duration,
+    /// Real wall-clock time of the offer/drain loop — the measured (not
+    /// modeled) cost of the run, which is what the threads×shards sweep
+    /// compares across thread counts.
+    pub wall_clock: Duration,
+    /// Whole per-shard groups claimed by a worker that had already
+    /// drained its first assignment (work stealing). Scheduling-
+    /// dependent, so excluded from determinism comparisons.
+    pub steals: u64,
     /// Delivered frames whose length or marker byte did not match the
     /// admission ledger — torn or cross-linked packets. Always 0 on a
     /// healthy engine.
@@ -136,6 +161,13 @@ pub struct ShardScaleRow {
     /// Whether `admitted == delivered + residual` held for both packets
     /// and bytes at the end of the run.
     pub conserved: bool,
+    /// A deterministic fingerprint of the run's end state: the engine's
+    /// full [`ShardedQueueManager::state_digest`] folded with the
+    /// residual admission ledger (flow, length, marker of every packet
+    /// admitted but not yet delivered). Byte-identical across thread
+    /// counts for a fixed configuration — the strongest single value the
+    /// CI determinism diff compares.
+    pub fingerprint: u64,
 }
 
 impl ShardScaleRow {
@@ -161,8 +193,9 @@ struct Reassembly {
     marker: u8,
 }
 
-/// Runs the Zipf/IMIX overload workload on `shards` engines and measures
-/// the composite throughput (see the [module docs](self)).
+/// Runs the Zipf/IMIX overload workload on `shards` engines with
+/// `threads` worker threads and measures the composite throughput (see
+/// the [module docs](self)).
 ///
 /// The **offered trace** — arrival order, flows, sizes, markers — is a
 /// pure function of `cfg`, identical for every shard count. The
@@ -175,11 +208,21 @@ struct Reassembly {
 /// and the per-shard locality effects (smaller queue tables and
 /// occupancy heaps) that sharding buys.
 ///
+/// `threads == 1` runs the serial batch paths; `threads > 1` runs
+/// [`ShardedAdmission::offer_batch_parallel`] and
+/// [`ShardedQueueManager::execute_batch_parallel`], whose results are
+/// byte-identical to serial (only `wall_clock`, the busy-time fields and
+/// `steals` change — the row's `fingerprint` proves it). `wall_clock`
+/// measures the real offer/drain loop, so at `threads ≥ shards` on a
+/// multi-core host it shows the *actual* speedup next to the modeled
+/// critical-path composite.
+///
 /// # Panics
 ///
 /// Panics if the per-shard buffer would be empty
-/// (`total_segments / shards == 0`) or the configuration is invalid.
-pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize) -> ShardScaleRow {
+/// (`total_segments / shards == 0`), `threads` is zero, or the
+/// configuration is invalid.
+pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize, threads: usize) -> ShardScaleRow {
     let qm_cfg = QmConfig::builder()
         .num_flows(cfg.flows)
         .num_segments(cfg.total_segments)
@@ -193,8 +236,10 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize) -> ShardScaleRow {
     let sizes = SizeDistribution::Imix;
     let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
 
+    assert!(threads > 0, "need at least one worker thread");
     let mut row = ShardScaleRow {
         shards,
+        threads,
         offered_pkts: 0,
         offered_bytes: 0,
         admitted_pkts: 0,
@@ -207,14 +252,18 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize) -> ShardScaleRow {
         busy: Vec::new(),
         critical_path: Duration::ZERO,
         serial_time: Duration::ZERO,
+        wall_clock: Duration::ZERO,
+        steals: 0,
         torn_frames: 0,
         conserved: false,
+        fingerprint: 0,
     };
     let mut ledger: Vec<VecDeque<LedgerSlot>> = (0..cfg.flows).map(|_| VecDeque::new()).collect();
     let mut reasm: Vec<Reassembly> = vec![Reassembly::default(); cfg.flows as usize];
     let seg_bytes = cfg.segment_bytes as usize;
     let mut seq = 0u64;
 
+    let wall = Instant::now();
     for _ in 0..cfg.rounds {
         // --- offered batch: Zipf flows, IMIX sizes, marker-stamped ---
         let arrivals_owned: Vec<(FlowId, Vec<u8>)> = (0..cfg.packets_per_round)
@@ -232,7 +281,11 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize) -> ShardScaleRow {
             .iter()
             .map(|(f, d)| (*f, d.as_slice()))
             .collect();
-        let admissions = adm.offer_batch(&mut engine, &arrivals);
+        let admissions = if threads == 1 {
+            adm.offer_batch(&mut engine, &arrivals)
+        } else {
+            adm.offer_batch_parallel(&mut engine, &arrivals, threads)
+        };
         for (i, result) in admissions.iter().enumerate() {
             let (flow, data) = &arrivals_owned[i];
             row.offered_pkts += 1;
@@ -267,7 +320,11 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize) -> ShardScaleRow {
                 });
             }
         }
-        let served = engine.execute_batch(&drain);
+        let served = if threads == 1 {
+            engine.execute_batch(&drain)
+        } else {
+            engine.execute_batch_parallel(&drain, threads)
+        };
         for (cmd, result) in drain.iter().zip(&served) {
             let Ok(Outcome::Segment(seg)) = result else {
                 continue; // QueueEmpty on an idle flow: expected
@@ -300,9 +357,11 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize) -> ShardScaleRow {
         }
     }
 
+    row.wall_clock = wall.elapsed();
     row.busy = engine.busy_times().to_vec();
     row.critical_path = engine.critical_path();
     row.serial_time = engine.serial_time();
+    row.steals = engine.parallel_stats().steals;
     let report = engine
         .verify()
         .expect("sharded engine invariants hold after the run");
@@ -320,14 +379,46 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize) -> ShardScaleRow {
         .enumerate()
         .all(|(f, r)| !r.in_flight || !ledger[f].is_empty());
     row.conserved = pkts_ok && bytes_ok && in_flight_ok;
+    // Fold the engine state digest with the residual ledger: one value
+    // that pins the run's entire deterministic outcome.
+    let fold = npqm_core::check::fnv1a_fold;
+    let mut h = engine.state_digest();
+    for (f, slots) in ledger.iter().enumerate() {
+        for &(len, marker) in slots {
+            h = fold(h, f as u64);
+            h = fold(h, len as u64);
+            h = fold(h, marker as u64);
+        }
+    }
+    row.fingerprint = h;
     row
 }
 
-/// Runs [`run_shard_scale`] for each shard count.
-pub fn run_shard_sweep(cfg: &ShardScaleConfig, shard_counts: &[usize]) -> Vec<ShardScaleRow> {
+/// Runs [`run_shard_scale`] for each shard count, all on `threads`
+/// worker threads.
+pub fn run_shard_sweep(
+    cfg: &ShardScaleConfig,
+    shard_counts: &[usize],
+    threads: usize,
+) -> Vec<ShardScaleRow> {
     shard_counts
         .iter()
-        .map(|&n| run_shard_scale(cfg, n))
+        .map(|&n| run_shard_scale(cfg, n, threads))
+        .collect()
+}
+
+/// Runs [`run_shard_scale`] at a fixed shard count for each thread
+/// count — the threads×shards wall-clock sweep behind `table7`'s
+/// parallel section. Every row computes identical deterministic results
+/// (same `fingerprint`); only the wall clock and steal counts differ.
+pub fn run_thread_sweep(
+    cfg: &ShardScaleConfig,
+    shards: usize,
+    thread_counts: &[usize],
+) -> Vec<ShardScaleRow> {
+    thread_counts
+        .iter()
+        .map(|&t| run_shard_scale(cfg, shards, t))
         .collect()
 }
 
@@ -339,8 +430,9 @@ mod tests {
     fn smoke_run_conserves_and_never_tears() {
         let cfg = ShardScaleConfig::smoke();
         for shards in [1usize, 4] {
-            let row = run_shard_scale(&cfg, shards);
+            let row = run_shard_scale(&cfg, shards, 1);
             assert_eq!(row.shards, shards);
+            assert_eq!(row.threads, 1);
             assert!(row.offered_pkts > 0);
             assert_eq!(row.offered_pkts, row.admitted_pkts + row.dropped_pkts);
             assert!(row.dropped_pkts > 0, "overload must drop");
@@ -349,7 +441,9 @@ mod tests {
             assert!(row.segments_processed > 0);
             assert!(row.critical_path > Duration::ZERO);
             assert!(row.serial_time >= row.critical_path);
+            assert!(row.wall_clock >= row.critical_path);
             assert_eq!(row.busy.len(), shards);
+            assert_eq!(row.steals, 0, "serial path never steals");
         }
     }
 
@@ -359,17 +453,55 @@ mod tests {
         // shard count; the admitted/drained sets may differ, since the
         // shard-local thresholds see partitioned buffers.
         let cfg = ShardScaleConfig::smoke();
-        let a = run_shard_scale(&cfg, 1);
-        let b = run_shard_scale(&cfg, 8);
+        let a = run_shard_scale(&cfg, 1, 1);
+        let b = run_shard_scale(&cfg, 8, 1);
         assert_eq!(a.offered_pkts, b.offered_pkts);
         assert_eq!(a.offered_bytes, b.offered_bytes);
     }
 
     #[test]
+    fn thread_count_never_changes_the_deterministic_fields() {
+        // The determinism contract at the scale-experiment level: every
+        // non-timing field of a row, including the end-state fingerprint
+        // (engine digest + residual ledger), is byte-identical whether
+        // the batches ran serial or on 2/4 worker threads.
+        let cfg = ShardScaleConfig::smoke();
+        let reference = run_shard_scale(&cfg, 4, 1);
+        for threads in [2usize, 4] {
+            let row = run_shard_scale(&cfg, 4, threads);
+            assert_eq!(row.threads, threads);
+            assert_eq!(row.offered_pkts, reference.offered_pkts);
+            assert_eq!(row.offered_bytes, reference.offered_bytes);
+            assert_eq!(row.admitted_pkts, reference.admitted_pkts);
+            assert_eq!(row.dropped_pkts, reference.dropped_pkts);
+            assert_eq!(row.admitted_bytes, reference.admitted_bytes);
+            assert_eq!(row.delivered_pkts, reference.delivered_pkts);
+            assert_eq!(row.drained_bytes, reference.drained_bytes);
+            assert_eq!(row.residual_bytes, reference.residual_bytes);
+            assert_eq!(row.segments_processed, reference.segments_processed);
+            assert_eq!(row.torn_frames, 0);
+            assert!(row.conserved);
+            assert_eq!(
+                row.fingerprint, reference.fingerprint,
+                "threads={threads}: end-state fingerprint diverged"
+            );
+        }
+    }
+
+    #[test]
     fn sweep_returns_one_row_per_count() {
-        let rows = run_shard_sweep(&ShardScaleConfig::smoke(), &[1, 2]);
+        let rows = run_shard_sweep(&ShardScaleConfig::smoke(), &[1, 2], 1);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].shards, 1);
         assert_eq!(rows[1].shards, 2);
+    }
+
+    #[test]
+    fn thread_sweep_returns_one_row_per_thread_count() {
+        let rows = run_thread_sweep(&ShardScaleConfig::smoke(), 4, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[1].threads, 2);
+        assert_eq!(rows[0].fingerprint, rows[1].fingerprint);
     }
 }

@@ -8,6 +8,8 @@
 //! drains it with a batch of dequeues, and prints the per-shard load
 //! split plus the batch-execution critical path versus the serialized
 //! cost — the gap is what partitioning flows across engines buys.
+//! (For the thread-parallel executor, work stealing and the global LQD
+//! over a shared buffer, see `examples/parallel_sharded.rs`.)
 
 use npqm::core::policy::DynamicThreshold;
 use npqm::core::shard::{ShardedAdmission, ShardedQueueManager};
