@@ -34,12 +34,15 @@ golden_quick() {
 
 golden_full() {
     golden_quick
-    # This run doubles as the serial leg of the parallel-determinism
+    # These runs double as the serial legs of the parallel-determinism
     # stage below: --report writes a machine-readable document holding
     # only deterministic fields (no wall clock, no steal counts).
     echo "==> table7 --check at NPQM_THREADS=1 (shard-scaling gates, serial leg)"
     NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table7 -- \
         --check --report target/table7-det-threads1.json
+    echo "==> table8 --check at NPQM_THREADS=1 (memory-timing gates, serial leg)"
+    NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table8 -- \
+        --check --report target/table8-det-threads1.json
 }
 
 # The headline guarantee of the thread-parallel executor: for a fixed
@@ -51,11 +54,16 @@ parallel_determinism() {
     echo "==> parallel-determinism: table7 --check at NPQM_THREADS=4"
     NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table7 -- \
         --check --report target/table7-det-threads4.json
-    echo "==> parallel-determinism: diff threads=1 vs threads=4 reports"
-    if ! diff -u target/table7-det-threads1.json target/table7-det-threads4.json; then
-        echo "parallel-determinism FAILED: reports differ between 1 and 4 threads" >&2
-        exit 1
-    fi
+    echo "==> parallel-determinism: table8 --check at NPQM_THREADS=4"
+    NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table8 -- \
+        --check --report target/table8-det-threads4.json
+    for t in table7 table8; do
+        echo "==> parallel-determinism: diff ${t} threads=1 vs threads=4 reports"
+        if ! diff -u "target/${t}-det-threads1.json" "target/${t}-det-threads4.json"; then
+            echo "parallel-determinism FAILED: ${t} reports differ between 1 and 4 threads" >&2
+            exit 1
+        fi
+    done
     echo "parallel-determinism: reports byte-identical."
 }
 
@@ -63,9 +71,10 @@ parallel_determinism() {
 # hosted pipeline so the perf trajectory accumulates per commit. These
 # include the wall-clock measurements the determinism reports exclude.
 bench_artifacts() {
-    echo "==> bench artifacts (BENCH_table6.json, BENCH_table7.json)"
+    echo "==> bench artifacts (BENCH_table6.json, BENCH_table7.json, BENCH_table8.json)"
     cargo run --release -q -p npqm-bench --bin table6 -- --json BENCH_table6.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table7 -- --json BENCH_table7.json >/dev/null
+    cargo run --release -q -p npqm-bench --bin table8 -- --json BENCH_table8.json >/dev/null
 }
 
 if [[ "${1:-}" == "quick" ]]; then

@@ -12,6 +12,7 @@ struct Summary {
     table5: Vec<npqm_mms::perf::Table5Row>,
     table6: Vec<Table6Out>,
     table7: Vec<Table7Out>,
+    table8: Vec<Table8Out>,
     saturation_mpps: f64,
     saturation_gbps: f64,
 }
@@ -30,6 +31,7 @@ impl ToJson for Summary {
             ("table5", self.table5.to_json()),
             ("table6", self.table6.to_json()),
             ("table7", self.table7.to_json()),
+            ("table8", self.table8.to_json()),
             ("saturation_mpps", self.saturation_mpps.to_json()),
             ("saturation_gbps", self.saturation_gbps.to_json()),
         ])
@@ -83,6 +85,30 @@ impl ToJson for Table7Out {
             ("segments_per_sec", self.segments_per_sec.to_json()),
             ("speedup_vs_one_shard", self.speedup_vs_one_shard.to_json()),
             ("torn_frames", self.torn_frames.to_json()),
+            ("conserved", self.conserved.to_json()),
+        ])
+    }
+}
+
+struct Table8Out {
+    banks: u32,
+    reordering: bool,
+    ops_per_sec: f64,
+    ddr_loss: f64,
+    conflict_slots: u64,
+    turnaround_slots: u64,
+    conserved: bool,
+}
+
+impl ToJson for Table8Out {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("banks", self.banks.to_json()),
+            ("reordering", self.reordering.to_json()),
+            ("ops_per_sec", self.ops_per_sec.to_json()),
+            ("ddr_loss", self.ddr_loss.to_json()),
+            ("conflict_slots", self.conflict_slots.to_json()),
+            ("turnaround_slots", self.turnaround_slots.to_json()),
             ("conserved", self.conserved.to_json()),
         ])
     }
@@ -165,6 +191,25 @@ fn main() {
         })
         .collect();
 
+    eprintln!("running Table 8 (memory-derived throughput)...");
+    let table8 = npqm_traffic::scale::run_memory_sweep(
+        &npqm_traffic::scale::ShardScaleConfig::table8(),
+        2,
+        &npqm_traffic::scale::TABLE8_BANKS,
+        npqm_traffic::scale::threads_from_env(),
+    )
+    .into_iter()
+    .map(|r| Table8Out {
+        banks: r.banks,
+        reordering: r.reordering,
+        ops_per_sec: r.ops_per_sec(),
+        ddr_loss: r.ddr_loss(),
+        conflict_slots: r.conflict_slots,
+        turnaround_slots: r.turnaround_slots,
+        conserved: r.conserved,
+    })
+    .collect();
+
     let summary = Summary {
         table1,
         table2,
@@ -174,6 +219,7 @@ fn main() {
         table5,
         table6,
         table7,
+        table8,
         saturation_mpps: mpps.get(),
         saturation_gbps: gbps.get(),
     };

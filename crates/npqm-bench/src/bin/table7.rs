@@ -289,6 +289,7 @@ fn determinism_report(
             ("drained_bytes", r.drained_bytes.to_json()),
             ("residual_bytes", r.residual_bytes.to_json()),
             ("segments_processed", r.segments_processed.to_json()),
+            ("ptr_accesses", r.ptr_accesses.to_json()),
             ("torn_frames", r.torn_frames.to_json()),
             ("conserved", r.conserved.to_json()),
             ("fingerprint", format!("{:#018x}", r.fingerprint).to_json()),

@@ -251,6 +251,7 @@ impl ToJson for npqm_traffic::scale::ShardScaleRow {
             ("drained_bytes", self.drained_bytes.to_json()),
             ("residual_bytes", self.residual_bytes.to_json()),
             ("segments_processed", self.segments_processed.to_json()),
+            ("ptr_accesses", self.ptr_accesses.to_json()),
             ("segments_per_sec", self.segments_per_sec().to_json()),
             ("critical_path_us", duration_us(self.critical_path)),
             ("serial_time_us", duration_us(self.serial_time)),
@@ -268,6 +269,59 @@ impl ToJson for npqm_traffic::scale::ShardScaleRow {
 
 fn duration_us(d: std::time::Duration) -> Json {
     Json::Num(d.as_secs_f64() * 1e6)
+}
+
+impl ToJson for npqm_traffic::scale::MemoryScaleRow {
+    /// The full memory-timed row. Every field except `threads` is a pure
+    /// function of the configuration; `table8 --check --report` writes
+    /// the same fields minus `threads`, which is what the CI
+    /// `parallel-determinism` stage diffs across thread counts.
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("threads".to_string(), self.threads.to_json())];
+        if let Json::Obj(det) = memory_row_deterministic_json(self) {
+            fields.extend(det);
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The deterministic projection of a [`npqm_traffic::scale::MemoryScaleRow`]:
+/// everything except the `threads` knob. This is the row shape inside
+/// `table8 --check --report`, required byte-identical across
+/// `NPQM_THREADS` values.
+pub fn memory_row_deterministic_json(r: &npqm_traffic::scale::MemoryScaleRow) -> Json {
+    Json::obj([
+        ("banks", r.banks.to_json()),
+        ("reordering", r.reordering.to_json()),
+        ("shards", r.shards.to_json()),
+        ("offered_pkts", r.offered_pkts.to_json()),
+        ("admitted_pkts", r.admitted_pkts.to_json()),
+        ("dropped_pkts", r.dropped_pkts.to_json()),
+        ("admitted_bytes", r.admitted_bytes.to_json()),
+        ("drained_bytes", r.drained_bytes.to_json()),
+        ("residual_bytes", r.residual_bytes.to_json()),
+        ("segments_processed", r.segments_processed.to_json()),
+        ("queue_ops", r.queue_ops.to_json()),
+        ("ptr_accesses", r.ptr_accesses.to_json()),
+        ("data_reads", r.data_reads.to_json()),
+        ("data_writes", r.data_writes.to_json()),
+        ("conflict_slots", r.conflict_slots.to_json()),
+        ("turnaround_slots", r.turnaround_slots.to_json()),
+        (
+            "per_shard_time_ps",
+            Json::Arr(
+                r.per_shard_time
+                    .iter()
+                    .map(|t| t.as_u64().to_json())
+                    .collect(),
+            ),
+        ),
+        ("modeled_time_ps", r.modeled_time.as_u64().to_json()),
+        ("ops_per_sec", r.ops_per_sec().to_json()),
+        ("ddr_loss", r.ddr_loss().to_json()),
+        ("conserved", r.conserved.to_json()),
+        ("fingerprint", format!("{:#018x}", r.fingerprint).to_json()),
+    ])
 }
 
 impl ToJson for npqm_traffic::pipeline::PipelineReport {

@@ -7,6 +7,7 @@
 
 use crate::id::{FlowId, PacketId, SegmentId};
 use crate::manager::QueueManager;
+use crate::ptrmem::PtrMemCounters;
 use core::fmt;
 use std::collections::HashSet;
 
@@ -44,6 +45,12 @@ pub struct InvariantReport {
     /// queue-table counters), which is what cross-shard conservation
     /// checks compare against admission/delivery ledgers.
     pub payload_bytes: u64,
+    /// Pointer-memory access counters at verification time (ZBT SRAM
+    /// traffic). The walk itself uses the silent accessors, so the
+    /// snapshot is not perturbed by taking it; the sharded engine's
+    /// conservation pass sums these across shards and checks the sum
+    /// against [`crate::shard::ShardedQueueManager::ptr_counters`].
+    pub ptr: PtrMemCounters,
 }
 
 fn violation<T>(what: impl Into<String>) -> Result<T, InvariantViolation> {
@@ -266,6 +273,7 @@ pub fn verify(qm: &QueueManager) -> Result<InvariantReport, InvariantViolation> 
         packets_used: used_pkts.len() as u32,
         packets_free: free_pkt_set.len() as u32,
         payload_bytes,
+        ptr: *pm.counters(),
     })
 }
 

@@ -58,6 +58,7 @@ pub mod sar;
 pub mod sched;
 pub mod shard;
 pub mod stats;
+pub mod timing;
 
 pub use command::{Command, Outcome};
 pub use config::QmConfig;
@@ -69,3 +70,6 @@ pub use sar::{Reassembler, Segmenter};
 pub use shard::parallel::{GlobalDropPolicy, GlobalLqd, GlobalOccupancy};
 pub use shard::{ShardedAdmission, ShardedInvariantReport, ShardedQueueManager};
 pub use stats::{ParallelStats, QmStats};
+pub use timing::{
+    BatchCost, CommandCost, MemoryChannels, MemoryModel, PaperTiming, TimingConfig, Uncosted,
+};

@@ -32,8 +32,9 @@ use crate::error::QueueError;
 use crate::freelist::{PktFreeList, SegFreeList};
 use crate::id::{FlowId, PacketId, SegmentId};
 use crate::pool::SegmentPool;
-use crate::ptrmem::{PtrMem, QueueRecord, SegRecord};
+use crate::ptrmem::{PtrMem, PtrMemCounters, QueueRecord, SegRecord};
 use crate::stats::QmStats;
+use crate::timing::stream::OpStream;
 use std::collections::BinaryHeap;
 
 /// Where a segment sits within its packet, from the SAR point of view.
@@ -115,6 +116,12 @@ pub struct QueueManager {
     pub(crate) pkt_fl: PktFreeList,
     pub(crate) stats: QmStats,
     occ: OccupancyIndex,
+    /// Memory-access tracing (see [`QueueManager::set_tracing`]).
+    tracing: bool,
+    /// Pointer-counter snapshot at the last trace cut.
+    ptr_mark: PtrMemCounters,
+    /// Committed spans awaiting [`QueueManager::take_spans`].
+    spans: Vec<OpStream>,
 }
 
 impl QueueManager {
@@ -140,7 +147,68 @@ impl QueueManager {
             pkt_fl,
             stats: QmStats::default(),
             occ: OccupancyIndex::default(),
+            tracing: false,
+            ptr_mark: PtrMemCounters::default(),
+            spans: Vec::new(),
         }
+    }
+
+    // --- memory-access tracing ----------------------------------------
+
+    /// Enables or disables memory-access tracing for the timing
+    /// subsystem ([`crate::timing`]).
+    ///
+    /// While tracing, every data-memory segment read/write is recorded
+    /// (pointer traffic is counted by the always-on
+    /// [`PtrMemCounters`]); [`QueueManager::cut_trace`] yields the
+    /// traffic since the previous cut as an
+    /// [`OpStream`]. Tracing records — it never
+    /// changes behaviour, results or counters. Toggling discards any
+    /// recorded-but-untaken traffic and committed spans.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        self.data.set_tracing(on);
+        self.ptr_mark = *self.ptr.counters();
+        self.spans.clear();
+    }
+
+    /// Whether memory-access tracing is enabled.
+    pub const fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Cuts the open trace span: returns all memory traffic since the
+    /// previous cut (or since tracing was enabled). With tracing off the
+    /// pointer-counter delta is still exact but the data list is empty,
+    /// so callers should enable tracing first.
+    pub fn cut_trace(&mut self) -> OpStream {
+        let counters = *self.ptr.counters();
+        let ptr = counters.since(&self.ptr_mark);
+        self.ptr_mark = counters;
+        OpStream {
+            ptr,
+            data: self.data.take_accesses(),
+        }
+    }
+
+    /// Commits the open span to the span list (no-op when not tracing).
+    /// Batch executors call this at group boundaries; the spans are
+    /// collected by [`QueueManager::take_spans`].
+    pub fn commit_span(&mut self) {
+        if self.tracing {
+            let span = self.cut_trace();
+            self.spans.push(span);
+        }
+    }
+
+    /// Number of committed spans awaiting collection.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Drains the committed spans (execution order preserved).
+    pub fn take_spans(&mut self) -> Vec<OpStream> {
+        std::mem::take(&mut self.spans)
     }
 
     /// Writes a queue record back and keeps the occupancy index current.

@@ -6,6 +6,7 @@
 //! the timing models can translate payload traffic into DRAM transactions.
 
 use crate::id::SegmentId;
+use crate::timing::stream::DataAccess;
 
 /// Segment-aligned payload storage.
 ///
@@ -26,6 +27,8 @@ pub struct SegmentPool {
     segment_bytes: u32,
     reads: u64,
     writes: u64,
+    tracing: bool,
+    trace: Vec<DataAccess>,
 }
 
 impl SegmentPool {
@@ -42,7 +45,21 @@ impl SegmentPool {
             segment_bytes,
             reads: 0,
             writes: 0,
+            tracing: false,
+            trace: Vec::new(),
         }
+    }
+
+    /// Enables or disables access tracing; toggling clears any recorded
+    /// accesses.
+    pub(crate) fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        self.trace.clear();
+    }
+
+    /// Drains the accesses recorded since the last take.
+    pub(crate) fn take_accesses(&mut self) -> Vec<DataAccess> {
+        std::mem::take(&mut self.trace)
     }
 
     /// Segment size in bytes.
@@ -89,6 +106,12 @@ impl SegmentPool {
         let off = self.offset(id);
         self.bytes[off..off + data.len()].copy_from_slice(data);
         self.writes += 1;
+        if self.tracing {
+            self.trace.push(DataAccess {
+                segment: id.as_usize() as u32,
+                write: true,
+            });
+        }
     }
 
     /// Reads the first `len` bytes of segment `id` (one DRAM read burst).
@@ -104,6 +127,12 @@ impl SegmentPool {
         );
         let off = self.offset(id);
         self.reads += 1;
+        if self.tracing {
+            self.trace.push(DataAccess {
+                segment: id.as_usize() as u32,
+                write: false,
+            });
+        }
         &self.bytes[off..off + len]
     }
 

@@ -137,6 +137,17 @@ impl PtrMemCounters {
             + self.qt_writes
     }
 
+    /// Adds every plane of `other` into `self` (aggregation across
+    /// shards, or window merging in the timing subsystem).
+    pub fn absorb(&mut self, other: &PtrMemCounters) {
+        self.seg_reads += other.seg_reads;
+        self.seg_writes += other.seg_writes;
+        self.pkt_reads += other.pkt_reads;
+        self.pkt_writes += other.pkt_writes;
+        self.qt_reads += other.qt_reads;
+        self.qt_writes += other.qt_writes;
+    }
+
     /// Per-plane difference `self - earlier` (for per-operation counting).
     pub fn since(&self, earlier: &PtrMemCounters) -> PtrMemCounters {
         PtrMemCounters {

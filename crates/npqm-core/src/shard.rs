@@ -105,7 +105,9 @@ use crate::error::QueueError;
 use crate::id::FlowId;
 use crate::manager::QueueManager;
 use crate::policy::{Admission, DropPolicy, Refusal};
+use crate::ptrmem::PtrMemCounters;
 use crate::stats::{ParallelStats, QmStats};
+use crate::timing::stream::{CrossBarrier, EngineTrace};
 use std::time::{Duration, Instant};
 
 pub mod parallel;
@@ -131,6 +133,9 @@ pub struct ShardedQueueManager {
     pub(crate) occ: GlobalOccupancy,
     /// Accounting for the parallel batch executor.
     pub(crate) pstats: ParallelStats,
+    /// Cross-shard barrier marks recorded while tracing (consumed by
+    /// [`ShardedQueueManager::take_trace`]).
+    trace_barriers: Vec<CrossBarrier>,
 }
 
 impl ShardedQueueManager {
@@ -152,7 +157,56 @@ impl ShardedQueueManager {
             busy: vec![Duration::ZERO; num_shards],
             occ: GlobalOccupancy::new(num_shards),
             pstats: ParallelStats::default(),
+            trace_barriers: Vec::new(),
         }
+    }
+
+    /// Enables or disables memory-access tracing on every shard (see
+    /// [`QueueManager::set_tracing`]; consumed by
+    /// [`crate::timing::MemoryChannels::charge_engine`]). Tracing
+    /// records — it never changes results, state or counters. Toggling
+    /// discards any recorded-but-uncharged trace.
+    pub fn set_tracing(&mut self, on: bool) {
+        for qm in &mut self.shards {
+            qm.set_tracing(on);
+        }
+        self.trace_barriers.clear();
+    }
+
+    /// Whether memory-access tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.shards[0].tracing()
+    }
+
+    /// Drains the recorded engine trace: every shard's committed spans
+    /// (in per-shard execution order) plus the cross-shard barrier
+    /// marks. The trace is a pure function of the executed commands and
+    /// their per-shard order — byte-identical between
+    /// [`execute_batch`](ShardedQueueManager::execute_batch) and
+    /// [`execute_batch_parallel`](ShardedQueueManager::execute_batch_parallel)
+    /// up to span-boundary cuts, which
+    /// [`crate::timing::MemoryChannels::charge_engine`] is invariant to.
+    pub fn take_trace(&mut self) -> EngineTrace {
+        EngineTrace {
+            spans: self
+                .shards
+                .iter_mut()
+                .map(QueueManager::take_spans)
+                .collect(),
+            barriers: std::mem::take(&mut self.trace_barriers),
+        }
+    }
+
+    /// Pointer-memory access counters aggregated over all shards (ZBT
+    /// SRAM traffic). The sharded [`verify`](ShardedQueueManager::verify)
+    /// proves this equals the sum of the per-shard counters carried in
+    /// each shard's [`InvariantReport`].
+    pub fn ptr_counters(&self) -> PtrMemCounters {
+        let mut acc = PtrMemCounters::default();
+        for qm in &self.shards {
+            acc.absorb(&qm.ptr_counters());
+        }
+        acc
     }
 
     /// Creates `num_shards` engines that together hold `total`'s data
@@ -378,8 +432,12 @@ impl ShardedQueueManager {
     /// Propagates the underlying operation's [`QueueError`].
     pub fn execute(&mut self, cmd: Command) -> Result<Outcome, QueueError> {
         match self.route(&cmd) {
-            Route::One(s) => self.shards[s].execute(cmd),
-            Route::Two(..) => self.execute_cross(cmd),
+            Route::One(s) => {
+                let r = self.shards[s].execute(cmd);
+                self.shards[s].commit_span();
+                r
+            }
+            Route::Two(..) => self.execute_cross_traced(cmd),
         }
     }
 
@@ -404,7 +462,7 @@ impl ShardedQueueManager {
                     self.flush_group(&mut groups[a], a, cmds, &mut results);
                     self.flush_group(&mut groups[b], b, cmds, &mut results);
                     let t = Instant::now();
-                    let r = self.execute_cross(cmd.clone());
+                    let r = self.execute_cross_traced(cmd.clone());
                     let d = t.elapsed();
                     self.busy[a] += d;
                     self.busy[b] += d;
@@ -437,7 +495,34 @@ impl ShardedQueueManager {
             results[i] = Some(self.shards[shard].execute(cmds[i].clone()));
         }
         self.busy[shard] += t.elapsed();
+        self.shards[shard].commit_span();
         group.clear();
+    }
+
+    /// Executes a cross-shard command, recording its two-engine barrier
+    /// in the trace when tracing is enabled: the source-side and
+    /// destination-side traffic each become one span on their engine,
+    /// and the [`CrossBarrier`] tells the memory channels to synchronize
+    /// both clocks after charging them.
+    pub(crate) fn execute_cross_traced(&mut self, cmd: Command) -> Result<Outcome, QueueError> {
+        let (a, b) = match self.route(&cmd) {
+            Route::Two(a, b) => (a, b),
+            Route::One(_) => unreachable!("cross execution requires two shards"),
+        };
+        if !self.tracing() {
+            return self.execute_cross(cmd);
+        }
+        let mark = CrossBarrier {
+            a,
+            b,
+            a_span: self.shards[a].span_count(),
+            b_span: self.shards[b].span_count(),
+        };
+        let r = self.execute_cross(cmd);
+        self.shards[a].commit_span();
+        self.shards[b].commit_span();
+        self.trace_barriers.push(mark);
+        r
     }
 
     /// Executes a two-queue command whose queues live in different shards.
@@ -560,7 +645,12 @@ impl ShardedQueueManager {
     /// 3. **aggregate partition** — used + free segments (and packet
     ///    records) summed over shards exactly cover the aggregate spaces;
     /// 4. **byte conservation** — the payload bytes proven by the
-    ///    per-shard walks sum to the engine-wide queue-table occupancy.
+    ///    per-shard walks sum to the engine-wide queue-table occupancy;
+    /// 5. **pointer-traffic conservation** — the per-shard
+    ///    [`PtrMemCounters`] carried in each shard's report sum to the
+    ///    engine-wide [`ptr_counters`](ShardedQueueManager::ptr_counters)
+    ///    aggregate, so memory-derived cost attributions always account
+    ///    for every pointer access exactly once.
     ///
     /// # Errors
     ///
@@ -576,6 +666,7 @@ impl ShardedQueueManager {
             report.packets_used += r.packets_used;
             report.packets_free += r.packets_free;
             report.payload_bytes += r.payload_bytes;
+            report.ptr.absorb(&r.ptr);
             report.shards.push(r);
             for f in 0..qm.config().num_flows() {
                 let flow = FlowId::new(f);
@@ -619,6 +710,16 @@ impl ShardedQueueManager {
                 ),
             });
         }
+        if report.ptr != self.ptr_counters() {
+            return Err(InvariantViolation {
+                what: format!(
+                    "pointer traffic not conserved: per-shard reports sum to {} accesses \
+                     but the engine aggregate is {}",
+                    report.ptr.total(),
+                    self.ptr_counters().total()
+                ),
+            });
+        }
         Ok(report)
     }
 }
@@ -638,6 +739,9 @@ pub struct ShardedInvariantReport {
     pub packets_free: u32,
     /// Queued payload bytes proven by the walks, summed over shards.
     pub payload_bytes: u64,
+    /// Pointer-memory accesses summed over the per-shard reports, and
+    /// proven equal to [`ShardedQueueManager::ptr_counters`].
+    pub ptr: PtrMemCounters,
 }
 
 /// Per-shard buffer-management admission: one [`DropPolicy`] instance per
@@ -716,7 +820,9 @@ impl<P: DropPolicy> ShardedAdmission<P> {
             "admission and engine shard counts differ"
         );
         let s = engine.shard_of(flow);
-        self.policies[s].offer(&mut engine.shards[s], flow, packet)
+        let r = self.policies[s].offer(&mut engine.shards[s], flow, packet);
+        engine.shards[s].commit_span();
+        r
     }
 
     /// Offers a batch of arriving packets, grouped per shard.
@@ -756,6 +862,7 @@ impl<P: DropPolicy> ShardedAdmission<P> {
                 results[i] = Some(self.policies[s].offer(&mut engine.shards[s], flow, data));
             }
             engine.busy[s] += t.elapsed();
+            engine.shards[s].commit_span();
         }
         results
             .into_iter()

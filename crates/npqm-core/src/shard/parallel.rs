@@ -269,7 +269,7 @@ impl ShardedQueueManager {
                     Route::One(_) => unreachable!("phase barriers are two-queue commands"),
                 };
                 let t = Instant::now();
-                let r = self.execute_cross(cmd);
+                let r = self.execute_cross_traced(cmd);
                 let d = t.elapsed();
                 self.busy[a] += d;
                 self.busy[b] += d;
@@ -316,6 +316,7 @@ impl ShardedQueueManager {
                 results[i] = Some(self.shards[*s].execute(cmds[i].clone()));
             }
             self.busy[*s] += t.elapsed();
+            self.shards[*s].commit_span();
             let top = self.shards[*s].longest_queue();
             self.occ.publish(*s, top);
             return;
@@ -350,6 +351,7 @@ impl ShardedQueueManager {
                 item.out.push(r);
             }
             item.busy = t.elapsed();
+            item.qm.commit_span();
             occ.publish(item.shard, item.qm.longest_queue());
         });
         self.pstats.steals += steals;
@@ -448,6 +450,7 @@ impl<P: DropPolicy + Send> ShardedAdmission<P> {
                 item.out.push(r);
             }
             item.busy = t.elapsed();
+            item.qm.commit_span();
             occ.publish(item.shard, item.qm.longest_queue());
         });
         engine.pstats.steals += steals;

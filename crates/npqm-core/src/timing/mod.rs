@@ -1,0 +1,517 @@
+//! Cycle-accurate memory-timing subsystem.
+//!
+//! The paper's central claim is that a queue manager's throughput is
+//! bounded by its pointer-memory (ZBT SRAM) and data-memory (DDR bank)
+//! access patterns — not by abstract operation counts. This module makes
+//! that claim executable for the *software* engine:
+//!
+//! 1. a traced [`crate::QueueManager`] records every pointer-memory and
+//!    data-memory access it performs ([`stream::OpStream`]);
+//! 2. a [`MemoryModel`] converts recorded streams into time. The
+//!    zero-cost [`Uncosted`] default leaves every existing code path
+//!    untouched; [`PaperTiming`] replays streams through the faithful
+//!    `npqm-mem` models (pipelined ZBT bursts, DDR bank tracking under
+//!    §3's naive or reordering scheduler);
+//! 3. [`MemoryChannels`] gives a sharded engine one memory channel per
+//!    shard and charges a batch's per-shard traces, turning the
+//!    N-engine composite's critical path into **memory-derived** time —
+//!    cross-shard barrier commands charge both channels they serialize
+//!    and synchronize their clocks.
+//!
+//! Costing is fully deterministic: streams are pure functions of the
+//! commands and their per-engine order (byte-identical between serial
+//! and thread-parallel execution), and the models contain no randomness,
+//! so the same seed and configuration produce the same cycle counts at
+//! any thread count. The `table8` binary gates this in CI.
+
+pub mod paper;
+pub mod stream;
+
+pub use paper::{PaperTiming, TimingConfig};
+pub use stream::{CrossBarrier, DataAccess, EngineTrace, OpStream};
+
+use crate::command::{Command, Outcome};
+use crate::error::QueueError;
+use crate::manager::QueueManager;
+use crate::shard::ShardedQueueManager;
+use npqm_sim::time::Picos;
+
+/// The cost of one charged span, split by memory leg.
+///
+/// Pointer manipulation and data transfer run in parallel in the
+/// hardware (§6), so the span's wall time is [`CommandCost::time`] — the
+/// maximum of the two legs, not their sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandCost {
+    /// Pointer-memory (ZBT SRAM) accesses charged.
+    pub ptr_accesses: u64,
+    /// Data-memory read bursts charged.
+    pub data_reads: u64,
+    /// Data-memory write bursts charged.
+    pub data_writes: u64,
+    /// DDR access slots lost to bank conflicts.
+    pub conflict_slots: u64,
+    /// DDR access slots lost to write-after-read turnaround.
+    pub turnaround_slots: u64,
+    /// Busy time of the pointer leg.
+    pub ptr_time: Picos,
+    /// Busy time of the data leg.
+    pub data_time: Picos,
+}
+
+impl CommandCost {
+    /// Wall time of the span: the slower of the two parallel legs.
+    pub fn time(&self) -> Picos {
+        self.ptr_time.max(self.data_time)
+    }
+
+    /// Total data-memory bursts (reads + writes).
+    pub fn data_accesses(&self) -> u64 {
+        self.data_reads + self.data_writes
+    }
+
+    /// Adds `other` into `self` (totals over several charged spans; the
+    /// summed `ptr_time`/`data_time` are per-leg busy totals, not a
+    /// critical path).
+    pub fn absorb(&mut self, other: &CommandCost) {
+        self.ptr_accesses += other.ptr_accesses;
+        self.data_reads += other.data_reads;
+        self.data_writes += other.data_writes;
+        self.conflict_slots += other.conflict_slots;
+        self.turnaround_slots += other.turnaround_slots;
+        self.ptr_time += other.ptr_time;
+        self.data_time += other.data_time;
+    }
+}
+
+/// Converts recorded access streams into time.
+///
+/// A model is a *channel*: it keeps absolute memory clocks across
+/// charges, so consecutive spans pipeline and bank state persists
+/// between them. Implementations must be deterministic — charging the
+/// same sequence of streams must always yield the same costs.
+pub trait MemoryModel {
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Charges one span's traffic and returns its cost.
+    fn charge(&mut self, stream: &OpStream) -> CommandCost;
+
+    /// Absolute channel time: when the last charged access completes.
+    fn elapsed(&self) -> Picos;
+
+    /// Advances the channel clocks to at least `t` (a barrier with
+    /// another channel; never rewinds).
+    fn sync_to(&mut self, t: Picos);
+
+    /// Returns the channel to idle (clock zero, cold banks).
+    fn reset(&mut self);
+}
+
+/// The zero-cost default: charges nothing, models nothing.
+///
+/// Engine paths that do not opt into timing behave exactly as before —
+/// this type exists so generic costed entry points have a no-op model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Uncosted;
+
+impl MemoryModel for Uncosted {
+    fn name(&self) -> &'static str {
+        "uncosted"
+    }
+
+    fn charge(&mut self, _stream: &OpStream) -> CommandCost {
+        CommandCost::default()
+    }
+
+    fn elapsed(&self) -> Picos {
+        Picos::ZERO
+    }
+
+    fn sync_to(&mut self, _t: Picos) {}
+
+    fn reset(&mut self) {}
+}
+
+impl QueueManager {
+    /// Executes one command and charges its memory traffic to `model`,
+    /// returning the command's outcome and its [`CommandCost`].
+    ///
+    /// Enables tracing if it was off (and leaves it on); any traffic
+    /// accumulated since the last cut is discarded first so the cost
+    /// covers exactly this command. A failed command still charges the
+    /// accesses it performed before failing (hardware pays for the
+    /// queue-table read that discovers an empty queue).
+    ///
+    /// # Errors
+    ///
+    /// The command's own [`QueueError`], alongside the (possibly
+    /// partial) cost.
+    pub fn execute_costed<M: MemoryModel>(
+        &mut self,
+        cmd: Command,
+        model: &mut M,
+    ) -> (Result<Outcome, QueueError>, CommandCost) {
+        if !self.tracing() {
+            self.set_tracing(true);
+        }
+        let _ = self.cut_trace();
+        let result = self.execute(cmd);
+        let stream = self.cut_trace();
+        let cost = model.charge(&stream);
+        (result, cost)
+    }
+}
+
+/// The cost of one charged engine trace (a batch, a round, or whatever
+/// window the caller charged).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchCost {
+    /// Time each shard's channel advanced during the charge.
+    pub per_shard: Vec<Picos>,
+    /// The busiest channel's advance — the N-engine composite's
+    /// memory-derived critical path for this window.
+    pub critical_path: Picos,
+    /// Summed counters over every charged span.
+    pub totals: CommandCost,
+}
+
+/// One memory channel per shard: the memory-derived replacement for the
+/// sharded engine's wall-clock busy-time composite.
+///
+/// # Charging discipline
+///
+/// [`MemoryChannels::charge_engine`] takes the engine's recorded trace
+/// and charges each shard's spans to its channel **merged between
+/// barrier points**: the cost depends only on the per-shard access
+/// *sequence* and where cross-shard barriers fell, not on how execution
+/// happened to cut spans (serial group flushes and parallel phase
+/// flushes cut differently; both charge identically). A cross-shard
+/// command charges its source-side traffic to the source channel and its
+/// destination-side traffic to the destination channel, then both
+/// channels advance to the later completion — the two-engine barrier.
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::manager::SegmentPosition;
+/// use npqm_core::shard::ShardedQueueManager;
+/// use npqm_core::timing::{MemoryChannels, PaperTiming, TimingConfig};
+/// use npqm_core::{Command, FlowId, QmConfig};
+///
+/// let mut engine = ShardedQueueManager::new(QmConfig::small(), 2);
+/// engine.set_tracing(true);
+/// let batch: Vec<Command> = (0..8)
+///     .map(|i| Command::Enqueue {
+///         flow: FlowId::new(i),
+///         data: vec![i as u8; 64],
+///         pos: SegmentPosition::Only,
+///     })
+///     .collect();
+/// engine.execute_batch(&batch);
+/// let mut channels = MemoryChannels::from_fn(2, |_| PaperTiming::new(TimingConfig::paper(8)));
+/// let cost = channels.charge_engine(&mut engine);
+/// assert_eq!(cost.totals.data_writes, 8);
+/// assert!(cost.critical_path > npqm_sim::time::Picos::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryChannels<M> {
+    channels: Vec<M>,
+}
+
+impl<M: MemoryModel> MemoryChannels<M> {
+    /// Builds one channel per shard with `make(shard_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn from_fn(num_shards: usize, make: impl FnMut(usize) -> M) -> Self {
+        assert!(num_shards > 0, "need at least one channel");
+        MemoryChannels {
+            channels: (0..num_shards).map(make).collect(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The channel of shard `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn channel(&self, idx: usize) -> &M {
+        &self.channels[idx]
+    }
+
+    /// Absolute time of each channel.
+    pub fn per_channel_elapsed(&self) -> Vec<Picos> {
+        self.channels.iter().map(MemoryModel::elapsed).collect()
+    }
+
+    /// Absolute time of the busiest channel — the composite's
+    /// memory-derived makespan.
+    pub fn elapsed(&self) -> Picos {
+        self.channels
+            .iter()
+            .map(MemoryModel::elapsed)
+            .max()
+            .unwrap_or(Picos::ZERO)
+    }
+
+    /// Resets every channel to idle.
+    pub fn reset(&mut self) {
+        for c in &mut self.channels {
+            c.reset();
+        }
+    }
+
+    /// Merges `spans` into one window and charges it to channel `s`.
+    fn charge_window(&mut self, s: usize, spans: &[OpStream]) -> CommandCost {
+        match spans {
+            [] => CommandCost::default(),
+            [one] => self.channels[s].charge(one),
+            many => {
+                let mut window = OpStream::default();
+                for span in many {
+                    window.absorb(span);
+                }
+                self.channels[s].charge(&window)
+            }
+        }
+    }
+
+    /// Drains the engine's recorded trace and charges it, shard by
+    /// shard, barrier by barrier (see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's shard count differs from the channel
+    /// count.
+    pub fn charge_engine(&mut self, engine: &mut ShardedQueueManager) -> BatchCost {
+        let trace = engine.take_trace();
+        assert_eq!(
+            trace.spans.len(),
+            self.channels.len(),
+            "engine shard count and channel count differ"
+        );
+        let before = self.per_channel_elapsed();
+        let mut totals = CommandCost::default();
+        let mut cursors = vec![0usize; self.channels.len()];
+        for bar in &trace.barriers {
+            // Everything each involved shard executed before the barrier.
+            for (s, upto) in [(bar.a, bar.a_span), (bar.b, bar.b_span)] {
+                let c = self.charge_window(s, &trace.spans[s][cursors[s]..upto]);
+                totals.absorb(&c);
+                cursors[s] = upto;
+            }
+            // The barrier command's two halves, then the clock sync: the
+            // command serializes both engines.
+            let ca = self.channels[bar.a].charge(&trace.spans[bar.a][bar.a_span]);
+            let cb = self.channels[bar.b].charge(&trace.spans[bar.b][bar.b_span]);
+            totals.absorb(&ca);
+            totals.absorb(&cb);
+            cursors[bar.a] = bar.a_span + 1;
+            cursors[bar.b] = bar.b_span + 1;
+            let t = self.channels[bar.a]
+                .elapsed()
+                .max(self.channels[bar.b].elapsed());
+            self.channels[bar.a].sync_to(t);
+            self.channels[bar.b].sync_to(t);
+        }
+        for (s, cursor) in cursors.into_iter().enumerate() {
+            let c = self.charge_window(s, &trace.spans[s][cursor..]);
+            totals.absorb(&c);
+        }
+        let per_shard: Vec<Picos> = self
+            .channels
+            .iter()
+            .zip(&before)
+            .map(|(c, &b)| c.elapsed().saturating_sub(b))
+            .collect();
+        let critical_path = per_shard.iter().copied().max().unwrap_or(Picos::ZERO);
+        BatchCost {
+            per_shard,
+            critical_path,
+            totals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QmConfig;
+    use crate::id::FlowId;
+    use crate::manager::SegmentPosition;
+
+    fn cfg() -> QmConfig {
+        QmConfig::builder()
+            .num_flows(16)
+            .num_segments(128)
+            .segment_bytes(64)
+            .build()
+            .unwrap()
+    }
+
+    fn enqueue(flow: u32, len: usize) -> Command {
+        Command::Enqueue {
+            flow: FlowId::new(flow),
+            data: vec![flow as u8; len],
+            pos: SegmentPosition::Only,
+        }
+    }
+
+    #[test]
+    fn uncosted_is_free() {
+        let mut m = Uncosted;
+        let mut qm = QueueManager::new(cfg());
+        let (r, cost) = qm.execute_costed(enqueue(0, 64), &mut m);
+        r.unwrap();
+        assert_eq!(cost, CommandCost::default());
+        assert_eq!(m.elapsed(), Picos::ZERO);
+        assert_eq!(m.name(), "uncosted");
+    }
+
+    #[test]
+    fn execute_costed_isolates_the_command() {
+        let mut qm = QueueManager::new(cfg());
+        let mut model = PaperTiming::new(TimingConfig::paper(8));
+        // Traffic outside execute_costed must not leak into the cost.
+        qm.enqueue_packet(FlowId::new(3), &[1u8; 200]).unwrap();
+        let (r, cost) = qm.execute_costed(
+            Command::Dequeue {
+                flow: FlowId::new(3),
+            },
+            &mut model,
+        );
+        r.unwrap();
+        assert_eq!(cost.data_reads, 1, "one segment read");
+        assert_eq!(cost.data_writes, 0);
+        assert!(cost.ptr_accesses > 0);
+    }
+
+    #[test]
+    fn failed_command_still_charges_its_lookup() {
+        let mut qm = QueueManager::new(cfg());
+        let mut model = PaperTiming::new(TimingConfig::paper(8));
+        let (r, cost) = qm.execute_costed(
+            Command::Dequeue {
+                flow: FlowId::new(5),
+            },
+            &mut model,
+        );
+        assert!(r.is_err());
+        assert!(cost.ptr_accesses > 0, "the queue-table read is real");
+        assert_eq!(cost.data_accesses(), 0);
+    }
+
+    #[test]
+    fn tracing_changes_no_behavior() {
+        let batch: Vec<Command> = (0..24).map(|i| enqueue(i % 16, 40 + i as usize)).collect();
+        let mut plain = ShardedQueueManager::new(cfg(), 4);
+        let mut traced = ShardedQueueManager::new(cfg(), 4);
+        traced.set_tracing(true);
+        let a = plain.execute_batch(&batch);
+        let b = traced.execute_batch(&batch);
+        assert_eq!(a, b);
+        assert_eq!(plain.state_digest(), traced.state_digest());
+        assert_eq!(plain.ptr_counters(), traced.ptr_counters());
+    }
+
+    #[test]
+    fn charge_engine_is_invariant_to_span_boundaries() {
+        // The same command sequence executed as one batch or command by
+        // command produces different span cuts; merged-window charging
+        // must cost them identically.
+        let cmds: Vec<Command> = (0..16)
+            .map(|i| enqueue(i % 8, 64))
+            .chain((0..8).map(|i| Command::Dequeue {
+                flow: FlowId::new(i % 8),
+            }))
+            .collect();
+        let run = |batched: bool| {
+            let mut engine = ShardedQueueManager::new(cfg(), 2);
+            engine.set_tracing(true);
+            let mut ch = MemoryChannels::from_fn(2, |_| PaperTiming::new(TimingConfig::paper(4)));
+            if batched {
+                engine.execute_batch(&cmds);
+            } else {
+                for c in &cmds {
+                    let _ = engine.execute(c.clone());
+                }
+            }
+            let cost = ch.charge_engine(&mut engine);
+            (cost, ch.per_channel_elapsed())
+        };
+        let (a, ea) = run(true);
+        let (b, eb) = run(false);
+        assert_eq!(a, b);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn cross_shard_barrier_charges_and_syncs_both_channels() {
+        let mut engine = ShardedQueueManager::new(cfg(), 4);
+        engine.set_tracing(true);
+        let src = FlowId::new(0);
+        let dst = (1..16u32)
+            .map(FlowId::new)
+            .find(|&f| engine.shard_of(f) != engine.shard_of(src))
+            .unwrap();
+        let (sa, sb) = (engine.shard_of(src), engine.shard_of(dst));
+        engine
+            .shard_for_mut(src)
+            .enqueue_packet(src, &[7u8; 200])
+            .unwrap();
+        engine.execute(Command::Move { src, dst }).unwrap();
+        let mut ch = MemoryChannels::from_fn(4, |_| PaperTiming::new(TimingConfig::paper(8)));
+        let cost = ch.charge_engine(&mut engine);
+        assert!(cost.totals.data_reads >= 4, "source read its segments");
+        assert!(cost.totals.data_writes >= 8, "enqueue + re-enqueue writes");
+        let elapsed = ch.per_channel_elapsed();
+        assert_eq!(
+            elapsed[sa], elapsed[sb],
+            "the barrier synchronizes both engines' clocks"
+        );
+        assert!(elapsed[sa] > Picos::ZERO);
+        for (s, &e) in elapsed.iter().enumerate() {
+            if s != sa && s != sb {
+                assert_eq!(e, Picos::ZERO, "uninvolved shard {s} stays idle");
+            }
+        }
+    }
+
+    #[test]
+    fn charge_engine_matches_serial_and_parallel_execution() {
+        let cmds: Vec<Command> = (0..48)
+            .map(|i| enqueue(i % 16, 40 + (i as usize % 100)))
+            .chain((0..16).map(|i| Command::Move {
+                src: FlowId::new(i),
+                dst: FlowId::new((i + 5) % 16),
+            }))
+            .chain((0..16).map(|i| Command::Dequeue {
+                flow: FlowId::new((i + 5) % 16),
+            }))
+            .collect();
+        let run = |threads: usize| {
+            let mut engine = ShardedQueueManager::new(cfg(), 4);
+            engine.set_tracing(true);
+            let mut ch = MemoryChannels::from_fn(4, |_| PaperTiming::new(TimingConfig::paper(8)));
+            if threads == 1 {
+                engine.execute_batch(&cmds);
+            } else {
+                engine.execute_batch_parallel(&cmds, threads);
+            }
+            ch.charge_engine(&mut engine)
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
+        assert!(serial.critical_path > Picos::ZERO);
+        assert!(serial.per_shard.len() == 4);
+    }
+}

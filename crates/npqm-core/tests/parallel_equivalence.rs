@@ -155,7 +155,20 @@ proptest! {
         prop_assert_eq!(&got, &expected, "outcomes must be byte-identical");
         prop_assert_eq!(parallel.stats(), serial.stats(), "counters must match");
         assert_same_engines(&parallel, &serial);
-        parallel.verify().unwrap();
+        // Pointer-memory traffic is part of the determinism contract:
+        // the per-shard access counters (and therefore any memory-derived
+        // cost) must match serial replay exactly, shard by shard, and the
+        // verify pass must prove their aggregate is conserved.
+        for s in 0..4 {
+            prop_assert_eq!(
+                parallel.shard(s).ptr_counters(),
+                serial.shard(s).ptr_counters(),
+                "shard {} pointer traffic diverged", s
+            );
+        }
+        prop_assert_eq!(parallel.ptr_counters(), serial.ptr_counters());
+        let report = parallel.verify().unwrap();
+        prop_assert_eq!(report.ptr, parallel.ptr_counters());
     }
 
     /// The work-stealing satellite: one shard gets a pathologically long

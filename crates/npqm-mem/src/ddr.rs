@@ -33,6 +33,29 @@ pub struct Access {
 
 /// Timing configuration of the DDR device.
 ///
+/// # Units — audited against the paper's §3 footnotes
+///
+/// All durations are absolute [`Picos`] (integer picoseconds), *not*
+/// device clock cycles. The constants of [`DdrConfig::paper`] come from
+/// the paper's footnotes 1–2 and are exact in this representation:
+///
+/// | field | value | source |
+/// |---|---|---|
+/// | `access_cycle` | 40 ns | "a new read/write access to 64-byte data blocks can be inserted … every 4-clock-cycles (access cycle = 40 ns)" — 4 cycles of the 100 MHz command clock |
+/// | `bank_reuse` | 160 ns | "successive accesses to the same bank may be performed every 160 ns" = exactly 4 access cycles ([`DdrConfig::reuse_slots`]) |
+/// | `read_delay` | 60 ns | CAS-style read latency (slot start → data valid) |
+/// | `write_delay` | 40 ns | write latency (slot start → data absorbed) |
+/// | `model_turnaround` | `true` | "the write access must be delayed 1 access cycle" after a read (footnote 2) |
+///
+/// The *block* moved per access slot is 64 bytes: a 64-bit data bus at
+/// 100 MHz with double clocking moves 8 bytes per edge × 8 edges in
+/// 40 ns, giving the 12.8 Gbit/s peak of [`DdrConfig::peak_gbps`]`(64)`.
+///
+/// `read_delay`/`write_delay` are **latencies, not occupancy**: slot
+/// scheduling (which is what Table 1's throughput loss measures) is
+/// governed solely by `access_cycle`, `bank_reuse` and the turnaround
+/// rule; the delays only time-stamp when data becomes available.
+///
 /// # Example
 ///
 /// ```
@@ -46,13 +69,18 @@ pub struct Access {
 pub struct DdrConfig {
     /// Number of banks (the paper sweeps 1–16).
     pub banks: u32,
-    /// One access slot: the interval at which new block accesses can issue.
+    /// One access slot: the interval at which new block accesses can
+    /// issue (40 ns in the paper — one 64-byte block per slot).
     pub access_cycle: Picos,
-    /// Minimum spacing of accesses to the same bank.
+    /// Minimum spacing of accesses to the same bank (160 ns in the
+    /// paper). Must be a whole multiple of `access_cycle`:
+    /// [`DdrConfig::reuse_slots`] truncates.
     pub bank_reuse: Picos,
-    /// Read access delay (start of slot → data available).
+    /// Read access delay, start of slot → data available (60 ns).
+    /// Informational: does not affect slot scheduling.
     pub read_delay: Picos,
-    /// Write access delay.
+    /// Write access delay, start of slot → data absorbed (40 ns).
+    /// Informational: does not affect slot scheduling.
     pub write_delay: Picos,
     /// Whether the write-after-read turnaround penalty is modeled
     /// (Table 1 reports columns with and without it).
@@ -82,12 +110,18 @@ impl DdrConfig {
         }
     }
 
-    /// Bank-reuse gap in access slots (4 for the paper's timing).
+    /// Bank-reuse gap in access slots (4 for the paper's timing:
+    /// 160 ns / 40 ns). Integer division — a `bank_reuse` that is not a
+    /// whole multiple of `access_cycle` truncates toward zero.
     pub fn reuse_slots(&self) -> u64 {
         self.bank_reuse / self.access_cycle
     }
 
-    /// Peak throughput in Gbit/s: one 64-byte block per access cycle.
+    /// Peak throughput in Gbit/s: one `block_bytes`-byte block per access
+    /// cycle (bits per nanosecond ≡ Gbit/s). `block_bytes` is the
+    /// transfer size of one access slot — 64 in the paper, where this
+    /// evaluates to the quoted 12.8 Gbit/s peak ("a 64-bit data bus at
+    /// 100 MHz with double clocking").
     pub fn peak_gbps(&self, block_bytes: u32) -> f64 {
         block_bytes as f64 * 8.0 / self.access_cycle.as_nanos_f64()
     }
@@ -184,6 +218,22 @@ mod tests {
         assert_eq!(cfg.reuse_slots(), 4);
         assert!(cfg.model_turnaround);
         assert!(!DdrConfig::paper_conflicts_only(4).model_turnaround);
+    }
+
+    #[test]
+    fn paper_units_audit() {
+        // The §3 footnote constants, cross-checked in their own units:
+        // the bank-reuse gap is exactly 4 access slots, the write delay
+        // is exactly one access cycle (which is why the turnaround
+        // penalty is one slot), and the read delay is 1.5 access cycles.
+        let cfg = DdrConfig::paper(8);
+        assert_eq!(cfg.bank_reuse / cfg.access_cycle, 4);
+        assert_eq!(cfg.write_delay, cfg.access_cycle);
+        assert_eq!(cfg.read_delay / cfg.access_cycle, 1); // 60/40 truncates
+        assert_eq!(cfg.read_delay + cfg.write_delay, Picos::from_nanos(100));
+        // Picos are exact for every constant — no rounding anywhere.
+        assert_eq!(cfg.access_cycle.as_u64(), 40_000);
+        assert_eq!(cfg.bank_reuse.as_u64(), 160_000);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! slot immediately after a read.
 //!
 //! The crate also models the ZBT SRAM pointer memory ([`zbt::ZbtSram`])
-//! used by the MMS and NPU models.
+//! used by the MMS and NPU models, and a persistent [`replay::DdrChannel`]
+//! that drains *finite recorded* access streams (a queue engine's actual
+//! per-command traffic) through the same bank protocol — the integration
+//! surface behind `npqm_core::timing`.
 //!
 //! # Example: measure DDR throughput loss
 //!
@@ -38,9 +41,11 @@ pub mod addrmap;
 pub mod ddr;
 pub mod experiments;
 pub mod pattern;
+pub mod replay;
 pub mod sched;
 pub mod zbt;
 
 pub use ddr::{Access, AccessKind, BankTracker, DdrConfig};
+pub use replay::{DdrChannel, DrainPolicy, StreamCost};
 pub use sched::{run_schedule, NaiveRoundRobin, Reordering, ScheduleResult, Scheduler};
 pub use zbt::ZbtSram;

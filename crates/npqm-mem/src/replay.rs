@@ -1,0 +1,408 @@
+//! Replaying *recorded* access streams through the DDR slot protocol.
+//!
+//! [`crate::sched::run_schedule`] measures the saturated steady state of
+//! §3's experiment: four ports that always have a pending access. A queue
+//! engine does not look like that — it emits a *finite* burst of accesses
+//! per command (or per batch of commands) whose bank pattern is dictated
+//! by the free-list allocation order. [`DdrChannel`] drains such finite
+//! streams through the same [`BankTracker`] timing protocol and the same
+//! two scheduling policies, while keeping the bank state and the slot
+//! cursor **across** streams: the last write of one command can still
+//! stall the first read of the next, exactly as in the device.
+//!
+//! This is the integration surface `npqm_core::timing` builds on: the
+//! engine records which segments each operation touched, the address map
+//! ([`crate::addrmap::AddressMap`]) turns segment indices into banks, and
+//! the channel turns the resulting [`Access`] stream into occupied access
+//! slots.
+
+use crate::ddr::{Access, AccessKind, BankTracker, DdrConfig};
+use crate::sched::{NaiveRoundRobin, Reordering, NUM_PORTS};
+use npqm_sim::time::Picos;
+use std::collections::VecDeque;
+
+/// Which §3 scheduler a [`DdrChannel`] drains its streams with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DrainPolicy {
+    /// Strict round-robin serialization ([`NaiveRoundRobin`]).
+    Naive,
+    /// Per-port FIFOs with bank-history reordering ([`Reordering`]).
+    Reordering,
+}
+
+/// The scheduler state behind a [`DrainPolicy`], persisted across drains.
+#[derive(Debug, Clone)]
+enum Sched {
+    Naive(NaiveRoundRobin),
+    Reordering(Reordering),
+}
+
+/// Slot accounting of one [`DdrChannel::drain`] call.
+///
+/// Every simulated slot is exactly one of useful, conflict or turnaround,
+/// so `useful_slots + conflict_slots + turnaround_slots ==
+/// end_slot - start_slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StreamCost {
+    /// Accesses drained (equals the input stream length).
+    pub accesses: u64,
+    /// Slots that carried a transfer.
+    pub useful_slots: u64,
+    /// Slots lost to bank conflicts (no eligible access).
+    pub conflict_slots: u64,
+    /// Slots lost to write-after-read bus turnaround.
+    pub turnaround_slots: u64,
+    /// Channel slot cursor when the drain started.
+    pub start_slot: u64,
+    /// Channel slot cursor when the drain finished.
+    pub end_slot: u64,
+}
+
+impl StreamCost {
+    /// Slots this drain occupied on the channel.
+    pub const fn slots(&self) -> u64 {
+        self.end_slot - self.start_slot
+    }
+
+    /// Wall time of the drain under `cfg`'s access cycle.
+    pub fn duration(&self, cfg: &DdrConfig) -> Picos {
+        cfg.access_cycle * self.slots()
+    }
+}
+
+/// A persistent DDR channel draining finite access streams.
+///
+/// Unlike [`crate::sched::run_schedule`], which runs saturated ports for
+/// a fixed number of slots, the channel runs until a given stream has
+/// fully drained and then *stops the clock*, so successive streams are
+/// charged back to back. Writes feed ports 0/1 and reads ports 2/3
+/// (alternating), matching the paper's 2-write/2-read port arrangement.
+///
+/// # Example
+///
+/// ```
+/// use npqm_mem::ddr::{Access, AccessKind, DdrConfig};
+/// use npqm_mem::replay::{DdrChannel, DrainPolicy};
+///
+/// let mut ch = DdrChannel::new(DdrConfig::paper_conflicts_only(1), DrainPolicy::Naive);
+/// let hit = |_| Access { bank: 0, kind: AccessKind::Write };
+/// let accesses: Vec<Access> = (0..3).map(hit).collect();
+/// let cost = ch.drain(&accesses);
+/// // One bank: each access after the first waits out the 160 ns reuse
+/// // gap (4 slots), so 3 accesses occupy 1 + 4 + 4 slots.
+/// assert_eq!(cost.slots(), 9);
+/// assert_eq!(cost.useful_slots, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DdrChannel {
+    cfg: DdrConfig,
+    banks: BankTracker,
+    sched: Sched,
+    slot: u64,
+    useful: u64,
+    conflicts: u64,
+    turnarounds: u64,
+}
+
+impl DdrChannel {
+    /// Creates a channel over `cfg` with the given scheduling policy.
+    pub fn new(cfg: DdrConfig, policy: DrainPolicy) -> Self {
+        DdrChannel {
+            banks: BankTracker::new(&cfg),
+            sched: match policy {
+                DrainPolicy::Naive => Sched::Naive(NaiveRoundRobin::new()),
+                DrainPolicy::Reordering => Sched::Reordering(Reordering::new()),
+            },
+            cfg,
+            slot: 0,
+            useful: 0,
+            conflicts: 0,
+            turnarounds: 0,
+        }
+    }
+
+    /// The channel's timing configuration.
+    pub const fn config(&self) -> &DdrConfig {
+        &self.cfg
+    }
+
+    /// The configured scheduling policy.
+    pub fn policy(&self) -> DrainPolicy {
+        match self.sched {
+            Sched::Naive(_) => DrainPolicy::Naive,
+            Sched::Reordering(_) => DrainPolicy::Reordering,
+        }
+    }
+
+    /// The slot cursor: the first slot the next drain may issue in.
+    pub const fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Absolute channel time: slot cursor times the access cycle.
+    pub fn elapsed(&self) -> Picos {
+        self.cfg.access_cycle * self.slot
+    }
+
+    /// Total slots that carried a transfer, over the channel's lifetime.
+    pub const fn useful_slots(&self) -> u64 {
+        self.useful
+    }
+
+    /// Total slots lost to bank conflicts, over the channel's lifetime.
+    pub const fn conflict_slots(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Total slots lost to write-after-read turnaround.
+    pub const fn turnaround_slots(&self) -> u64 {
+        self.turnarounds
+    }
+
+    /// Advances the slot cursor to at least `slot` (a barrier with
+    /// another channel; it never moves the cursor backwards). The skipped
+    /// slots are idle, not conflicts — they are counted in no bucket.
+    pub fn sync_to_slot(&mut self, slot: u64) {
+        self.slot = self.slot.max(slot);
+    }
+
+    fn select(&mut self, heads: &[Option<Access>; NUM_PORTS], slot: u64) -> Option<usize> {
+        match &mut self.sched {
+            Sched::Naive(s) => s.select_sparse(heads, &self.banks, slot),
+            Sched::Reordering(s) => s.select_sparse(heads, &self.banks, slot),
+        }
+    }
+
+    fn issued(&mut self, port: usize, access: Access, slot: u64) {
+        use crate::sched::Scheduler;
+        match &mut self.sched {
+            Sched::Naive(s) => s.issued(port, access, slot),
+            Sched::Reordering(s) => s.issued(port, access, slot),
+        }
+    }
+
+    /// Drains `accesses` through the channel, starting at the current
+    /// slot cursor, and advances the cursor to the first free slot after
+    /// the last issue. An empty stream costs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any access addresses a bank outside the configured bank
+    /// count.
+    pub fn drain(&mut self, accesses: &[Access]) -> StreamCost {
+        let start = self.slot;
+        let mut cost = StreamCost {
+            accesses: accesses.len() as u64,
+            start_slot: start,
+            end_slot: start,
+            ..StreamCost::default()
+        };
+        if accesses.is_empty() {
+            return cost;
+        }
+        for a in accesses {
+            assert!(
+                a.bank < self.cfg.banks,
+                "access to bank {} but the channel has {}",
+                a.bank,
+                self.cfg.banks
+            );
+        }
+        // Writes feed ports 0/1, reads ports 2/3, alternating — the
+        // paper's two write + two read ports over one recorded stream.
+        let mut ports: [VecDeque<Access>; NUM_PORTS] = Default::default();
+        let (mut wr, mut rd) = (0usize, 0usize);
+        for &a in accesses {
+            match a.kind {
+                AccessKind::Write => {
+                    ports[wr].push_back(a);
+                    wr ^= 1;
+                }
+                AccessKind::Read => {
+                    ports[2 + rd].push_back(a);
+                    rd ^= 1;
+                }
+            }
+        }
+
+        let mut slot = start;
+        let mut remaining = accesses.len() as u64;
+        // A write selected right after a read is delayed one slot; it
+        // then issues unconditionally (its bank cannot have become busy
+        // meanwhile) — the same mechanism as `run_schedule`.
+        let mut pending: Option<(usize, Access)> = None;
+        while remaining > 0 {
+            if let Some((port, access)) = pending.take() {
+                self.banks.issue(access, slot);
+                self.issued(port, access, slot);
+                cost.useful_slots += 1;
+                remaining -= 1;
+                slot += 1;
+                continue;
+            }
+            let heads: [Option<Access>; NUM_PORTS] =
+                core::array::from_fn(|p| ports[p].front().copied());
+            match self.select(&heads, slot) {
+                None => cost.conflict_slots += 1,
+                Some(port) => {
+                    let access = ports[port].pop_front().expect("selected head exists");
+                    if self.cfg.model_turnaround
+                        && access.kind == AccessKind::Write
+                        && self.banks.turnaround_penalty(access.kind, slot)
+                    {
+                        cost.turnaround_slots += 1;
+                        pending = Some((port, access));
+                    } else {
+                        self.banks.issue(access, slot);
+                        self.issued(port, access, slot);
+                        cost.useful_slots += 1;
+                        remaining -= 1;
+                    }
+                }
+            }
+            slot += 1;
+        }
+        self.slot = slot;
+        cost.end_slot = slot;
+        self.useful += cost.useful_slots;
+        self.conflicts += cost.conflict_slots;
+        self.turnarounds += cost.turnaround_slots;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(bank: u32) -> Access {
+        Access {
+            bank,
+            kind: AccessKind::Write,
+        }
+    }
+
+    fn r(bank: u32) -> Access {
+        Access {
+            bank,
+            kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        let mut ch = DdrChannel::new(DdrConfig::paper(4), DrainPolicy::Reordering);
+        let cost = ch.drain(&[]);
+        assert_eq!(cost.slots(), 0);
+        assert_eq!(ch.slot(), 0);
+        assert_eq!(ch.elapsed(), Picos::ZERO);
+    }
+
+    #[test]
+    fn striped_stream_is_conflict_free() {
+        let mut ch = DdrChannel::new(DdrConfig::paper_conflicts_only(8), DrainPolicy::Naive);
+        let accesses: Vec<Access> = (0..32).map(|i| w(i % 8)).collect();
+        let cost = ch.drain(&accesses);
+        assert_eq!(cost.useful_slots, 32);
+        assert_eq!(cost.conflict_slots, 0);
+        assert_eq!(cost.slots(), 32);
+    }
+
+    #[test]
+    fn single_bank_pays_the_reuse_gap() {
+        let mut ch = DdrChannel::new(DdrConfig::paper_conflicts_only(1), DrainPolicy::Naive);
+        let cost = ch.drain(&[w(0), w(0), w(0)]);
+        assert_eq!(cost.useful_slots, 3);
+        // First at slot 0, then every 4th slot: 0, 4, 8 -> cursor 9.
+        assert_eq!(cost.slots(), 9);
+        assert_eq!(cost.conflict_slots, 6);
+    }
+
+    #[test]
+    fn accounting_is_exact() {
+        let mut ch = DdrChannel::new(DdrConfig::paper(4), DrainPolicy::Reordering);
+        let accesses: Vec<Access> = (0..64)
+            .map(|i| if i % 3 == 0 { r(i % 4) } else { w((i * 7) % 4) })
+            .collect();
+        let cost = ch.drain(&accesses);
+        assert_eq!(
+            cost.useful_slots + cost.conflict_slots + cost.turnaround_slots,
+            cost.slots()
+        );
+        assert_eq!(cost.useful_slots, 64);
+        assert_eq!(ch.useful_slots(), 64);
+        assert_eq!(cost.duration(ch.config()), ch.elapsed());
+    }
+
+    #[test]
+    fn bank_state_persists_across_drains() {
+        let mut ch = DdrChannel::new(DdrConfig::paper_conflicts_only(2), DrainPolicy::Naive);
+        let first = ch.drain(&[w(0)]);
+        assert_eq!(first.slots(), 1);
+        // Bank 0 is still precharging: the follow-up drain must wait out
+        // the rest of the 4-slot gap even though it is a new stream.
+        let second = ch.drain(&[w(0)]);
+        assert_eq!(second.start_slot, 1);
+        assert_eq!(second.conflict_slots, 3);
+        assert_eq!(second.end_slot, 5);
+    }
+
+    #[test]
+    fn reordering_overtakes_a_blocked_head() {
+        // Stream [bank0, bank0, bank1]: writes land on ports 0,1,0. Naive
+        // stalls on the second bank-0 access; reordering issues the
+        // bank-1 write from the other port meanwhile.
+        let stream = [w(0), w(0), w(1)];
+        let mut naive = DdrChannel::new(DdrConfig::paper_conflicts_only(2), DrainPolicy::Naive);
+        let mut opt = DdrChannel::new(DdrConfig::paper_conflicts_only(2), DrainPolicy::Reordering);
+        let n = naive.drain(&stream);
+        let o = opt.drain(&stream);
+        assert!(
+            o.slots() < n.slots(),
+            "reordering {} vs naive {}",
+            o.slots(),
+            n.slots()
+        );
+        assert_eq!(o.useful_slots, 3);
+        assert_eq!(n.useful_slots, 3);
+    }
+
+    #[test]
+    fn turnaround_charged_on_write_after_read() {
+        let mut ch = DdrChannel::new(DdrConfig::paper(8), DrainPolicy::Naive);
+        // Naive port order serves ports 0(w),1(w),2(r),3(r),0(w): the
+        // write following the reads pays one turnaround slot.
+        let cost = ch.drain(&[w(0), w(1), w(2), r(3), r(4)]);
+        assert_eq!(cost.useful_slots, 5);
+        assert!(cost.turnaround_slots >= 1, "cost {cost:?}");
+    }
+
+    #[test]
+    fn sync_to_slot_only_moves_forward() {
+        let mut ch = DdrChannel::new(DdrConfig::paper(4), DrainPolicy::Reordering);
+        ch.drain(&[w(0), w(1)]);
+        let here = ch.slot();
+        ch.sync_to_slot(1);
+        assert_eq!(ch.slot(), here, "sync never rewinds");
+        ch.sync_to_slot(here + 10);
+        assert_eq!(ch.slot(), here + 10);
+        assert_eq!(ch.elapsed(), ch.config().access_cycle * (here + 10));
+    }
+
+    #[test]
+    fn policy_accessor_reports_construction() {
+        let n = DdrChannel::new(DdrConfig::paper(4), DrainPolicy::Naive);
+        let o = DdrChannel::new(DdrConfig::paper(4), DrainPolicy::Reordering);
+        assert_eq!(n.policy(), DrainPolicy::Naive);
+        assert_eq!(o.policy(), DrainPolicy::Reordering);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank 5")]
+    fn out_of_range_bank_panics() {
+        let mut ch = DdrChannel::new(DdrConfig::paper(4), DrainPolicy::Naive);
+        ch.drain(&[w(5)]);
+    }
+}

@@ -45,6 +45,31 @@ impl NaiveRoundRobin {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// [`Scheduler::select`] over *sparse* heads: ports whose FIFO has
+    /// drained report `None` and are skipped (the round-robin pointer
+    /// advances past them so in-order service of the remaining ports is
+    /// preserved). Used by [`crate::replay::DdrChannel`] to drain finite
+    /// recorded access streams; with every head present this is exactly
+    /// the saturated-port behaviour of [`run_schedule`].
+    pub fn select_sparse(
+        &mut self,
+        heads: &[Option<Access>; NUM_PORTS],
+        banks: &BankTracker,
+        slot: u64,
+    ) -> Option<usize> {
+        for _ in 0..NUM_PORTS {
+            match heads[self.current] {
+                // An empty port cannot block the others once its stream
+                // has drained; skipping it keeps the service order of the
+                // live ports unchanged.
+                None => self.current = (self.current + 1) % NUM_PORTS,
+                // In-order service: only the current port's head may issue.
+                Some(head) => return banks.is_free(head.bank, slot).then_some(self.current),
+            }
+        }
+        None
+    }
 }
 
 impl Scheduler for NaiveRoundRobin {
@@ -54,13 +79,7 @@ impl Scheduler for NaiveRoundRobin {
         banks: &BankTracker,
         slot: u64,
     ) -> Option<usize> {
-        // In-order service: only the current port's head may issue.
-        let head = heads[self.current];
-        if banks.is_free(head.bank, slot) {
-            Some(self.current)
-        } else {
-            None
-        }
+        self.select_sparse(&heads.map(Some), banks, slot)
     }
 
     fn issued(&mut self, port: usize, _access: Access, _slot: u64) {
@@ -136,14 +155,16 @@ impl Reordering {
     /// First eligible port in round-robin order matching `want`.
     fn pick(
         &self,
-        heads: &[Access; NUM_PORTS],
+        heads: &[Option<Access>; NUM_PORTS],
         banks: &BankTracker,
         slot: u64,
         want: Option<AccessKind>,
     ) -> Option<usize> {
         for i in 0..NUM_PORTS {
             let port = (self.rr + i) % NUM_PORTS;
-            let head = heads[port];
+            let Some(head) = heads[port] else {
+                continue;
+            };
             if want.is_some_and(|k| head.kind != k) {
                 continue;
             }
@@ -154,6 +175,31 @@ impl Reordering {
             }
         }
         None
+    }
+
+    /// [`Scheduler::select`] over *sparse* heads: ports whose FIFO has
+    /// drained report `None` and are simply never eligible. Used by
+    /// [`crate::replay::DdrChannel`] to drain finite recorded access
+    /// streams; with every head present this is exactly the
+    /// saturated-port behaviour of [`run_schedule`].
+    pub fn select_sparse(
+        &mut self,
+        heads: &[Option<Access>; NUM_PORTS],
+        banks: &BankTracker,
+        slot: u64,
+    ) -> Option<usize> {
+        let preferred = match self.last_kind {
+            Some(kind) if self.run_len < self.max_run => Some(kind),
+            Some(AccessKind::Read) => Some(AccessKind::Write),
+            Some(AccessKind::Write) => Some(AccessKind::Read),
+            None => None,
+        };
+        if let Some(kind) = preferred {
+            if let Some(port) = self.pick(heads, banks, slot, Some(kind)) {
+                return Some(port);
+            }
+        }
+        self.pick(heads, banks, slot, None)
     }
 }
 
@@ -170,18 +216,7 @@ impl Scheduler for Reordering {
         banks: &BankTracker,
         slot: u64,
     ) -> Option<usize> {
-        let preferred = match self.last_kind {
-            Some(kind) if self.run_len < self.max_run => Some(kind),
-            Some(AccessKind::Read) => Some(AccessKind::Write),
-            Some(AccessKind::Write) => Some(AccessKind::Read),
-            None => None,
-        };
-        if let Some(kind) = preferred {
-            if let Some(port) = self.pick(heads, banks, slot, Some(kind)) {
-                return Some(port);
-            }
-        }
-        self.pick(heads, banks, slot, None)
+        self.select_sparse(&heads.map(Some), banks, slot)
     }
 
     fn issued(&mut self, port: usize, access: Access, slot: u64) {

@@ -13,6 +13,12 @@
 //! configurable line rate — so buffer-management policies can finally be
 //! *exercised and measured* instead of only unit-tested.
 //!
+//! [`run_timed_pipeline`] swaps the fixed line rate for a
+//! **memory-derived** egress: each packet's service time is the modeled
+//! ZBT/DDR cost of its dequeue access stream (see
+//! [`npqm_core::timing`]), so the delivered goodput is bounded by the
+//! memory organisation instead of an assumed wire speed.
+//!
 //! The loop keeps a per-flow ledger with one slot — enqueue time, length
 //! and a marker byte stamped into the frame — for every packet in the
 //! buffer, which yields per-flow latency and an end-to-end integrity
@@ -44,6 +50,7 @@ use npqm_core::policy::{DropPolicy, DynamicThreshold, LongestQueueDrop};
 use npqm_core::sched::{DeficitRoundRobin, FlowScheduler};
 use npqm_core::shard::parallel::{GlobalDropPolicy, GlobalLqd};
 use npqm_core::shard::ShardedQueueManager;
+use npqm_core::timing::{MemoryModel, PaperTiming, TimingConfig};
 use npqm_core::{FlowId, QmConfig, QueueManager};
 use npqm_sim::rng::Xoshiro256pp;
 use npqm_sim::stats::MeanVar;
@@ -219,6 +226,42 @@ struct Slot {
     marker: u8,
 }
 
+/// How the egress server prices a packet's service time.
+enum Egress<'a> {
+    /// Fixed line rate in Gbit/s: `len * 8 / gbps` nanoseconds.
+    Line(f64),
+    /// Memory-derived: the modeled ZBT+DDR cost of the packet's dequeue
+    /// access stream, replayed through a persistent [`PaperTiming`]
+    /// channel (the engine must have tracing enabled).
+    Memory(&'a mut PaperTiming),
+}
+
+impl Egress<'_> {
+    /// Charges any traffic recorded since the last service (the
+    /// admission-side enqueues) so ingress bank pressure is visible to
+    /// the next service's cost. A no-op at a fixed line rate.
+    fn absorb_ingress(&mut self, qm: &mut QueueManager) {
+        if let Egress::Memory(model) = self {
+            let pre = qm.cut_trace();
+            if !pre.is_empty() {
+                model.charge(&pre);
+            }
+        }
+    }
+
+    /// The transmit time of the packet just dequeued from `qm`.
+    fn tx_time(&mut self, qm: &mut QueueManager, len: usize) -> Picos {
+        let ps = match self {
+            Egress::Line(gbps) => (len as f64 * 8.0 * 1000.0 / *gbps).round() as u64,
+            Egress::Memory(model) => {
+                let stream = qm.cut_trace();
+                model.charge(&stream).time().as_u64()
+            }
+        };
+        Picos::new(ps.max(1))
+    }
+}
+
 /// Runs the closed loop: `cfg.arrivals` feeds `policy`-guarded admission
 /// into a fresh [`QueueManager`], and one egress server drains it through
 /// `sched` at `cfg.egress_gbps`.
@@ -237,14 +280,75 @@ where
     P: DropPolicy + ?Sized,
     S: FlowScheduler + ?Sized,
 {
+    assert!(cfg.egress_gbps > 0.0, "egress rate must be positive");
+    run_dense_loop(cfg, policy, sched, &mut Egress::Line(cfg.egress_gbps))
+}
+
+/// Runs the closed loop with a **memory-derived** egress: instead of a
+/// fixed line rate, each packet's service time is the modeled cost of
+/// its dequeue access stream — every pointer access priced by the ZBT
+/// SRAM model, every segment read by the DDR bank model under `timing`'s
+/// scheduler and bank count (see [`npqm_core::timing`]).
+///
+/// The engine runs with tracing enabled; admission-side enqueue traffic
+/// is charged to the same channel just before each service starts, so
+/// the bank pressure the ingress path creates is visible to egress
+/// costing. What is *not* costed: the admission policy's computation,
+/// and any queueing inside the memory controller beyond the slot
+/// protocol. `cfg.egress_gbps` is ignored in this mode.
+///
+/// Deterministic: the run is a pure function of `cfg` and `timing`.
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::policy::DynamicThreshold;
+/// use npqm_core::sched::DeficitRoundRobin;
+/// use npqm_core::timing::TimingConfig;
+/// use npqm_traffic::pipeline::{run_timed_pipeline, PipelineConfig};
+///
+/// let cfg = PipelineConfig::small_demo(7);
+/// let mut policy = DynamicThreshold::new(2.0);
+/// let mut sched = DeficitRoundRobin::new(vec![1518; 4]);
+/// let r = run_timed_pipeline(&cfg, &mut policy, &mut sched, &TimingConfig::paper(8));
+/// assert_eq!(r.integrity_violations, 0);
+/// ```
+pub fn run_timed_pipeline<P, S>(
+    cfg: &PipelineConfig,
+    policy: &mut P,
+    sched: &mut S,
+    timing: &TimingConfig,
+) -> PipelineReport
+where
+    P: DropPolicy + ?Sized,
+    S: FlowScheduler + ?Sized,
+{
+    let mut model = PaperTiming::new(*timing);
+    run_dense_loop(cfg, policy, sched, &mut Egress::Memory(&mut model))
+}
+
+/// The dense closed loop shared by [`run_pipeline`] and
+/// [`run_timed_pipeline`]; `egress` prices each packet's service time.
+fn run_dense_loop<P, S>(
+    cfg: &PipelineConfig,
+    policy: &mut P,
+    sched: &mut S,
+    egress: &mut Egress<'_>,
+) -> PipelineReport
+where
+    P: DropPolicy + ?Sized,
+    S: FlowScheduler + ?Sized,
+{
     let flows = cfg.mix.flows();
     assert!(
         flows <= cfg.qm.num_flows(),
         "flow mix draws flows outside the engine's flow table"
     );
-    assert!(cfg.egress_gbps > 0.0, "egress rate must be positive");
 
     let mut qm = QueueManager::new(cfg.qm);
+    if matches!(egress, Egress::Memory(_)) {
+        qm.set_tracing(true);
+    }
     let mut arrivals = ArrivalGen::new(cfg.arrivals, cfg.seed);
     let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut ev: EventQueue<Ev> = EventQueue::new();
@@ -317,7 +421,7 @@ where
                         sched,
                         &mut ledger,
                         &mut ev,
-                        cfg.egress_gbps,
+                        egress,
                         &mut report.integrity_violations,
                         |flow, bytes, enqueued_at| Ev::TxDone {
                             shard: 0,
@@ -343,7 +447,7 @@ where
                     sched,
                     &mut ledger,
                     &mut ev,
-                    cfg.egress_gbps,
+                    egress,
                     &mut report.integrity_violations,
                     |flow, bytes, enqueued_at| Ev::TxDone {
                         shard: 0,
@@ -376,22 +480,23 @@ where
 /// Asks the scheduler for the next flow and, if one is ready, dequeues
 /// its head packet, verifies it against the ledger (length and marker
 /// byte) and schedules a transmit-done event (built by `mk_txdone` from
-/// `(flow, bytes, enqueued_at)`) at line rate `gbps`. Returns whether the
-/// server is now busy. Generic over the event type so the dense loop, the
-/// per-shard loops and the coupled global-admission loop share one
-/// service path.
+/// `(flow, bytes, enqueued_at)`) after the service time `egress` prices
+/// for it. Returns whether the server is now busy. Generic over the
+/// event type so the dense loop, the per-shard loops and the coupled
+/// global-admission loop share one service path.
 fn start_service<S: FlowScheduler + ?Sized, E>(
     qm: &mut QueueManager,
     sched: &mut S,
     ledger: &mut [VecDeque<Slot>],
     ev: &mut EventQueue<E>,
-    gbps: f64,
+    egress: &mut Egress<'_>,
     integrity_violations: &mut u64,
     mk_txdone: impl FnOnce(FlowId, u32, Picos) -> E,
 ) -> bool {
     let Some(flow) = sched.next_flow(qm) else {
         return false;
     };
+    egress.absorb_ingress(qm);
     let pkt = qm
         .dequeue_packet(flow)
         .expect("scheduler picked a ready flow");
@@ -402,12 +507,8 @@ fn start_service<S: FlowScheduler + ?Sized, E>(
     if pkt.len() as u32 != slot.len || pkt[0] != slot.marker {
         *integrity_violations += 1;
     }
-    // Transmission time at the egress line rate.
-    let tx_ps = (pkt.len() as f64 * 8.0 * 1000.0 / gbps).round() as u64;
-    ev.schedule_in(
-        Picos::new(tx_ps.max(1)),
-        mk_txdone(flow, pkt.len() as u32, slot.enqueued_at),
-    );
+    let tx = egress.tx_time(qm, pkt.len());
+    ev.schedule_in(tx, mk_txdone(flow, pkt.len() as u32, slot.enqueued_at));
     true
 }
 
@@ -505,6 +606,7 @@ where
     let mut ledger: Vec<VecDeque<Slot>> = (0..flows).map(|_| VecDeque::new()).collect();
     let mut payload = vec![0xA5u8; cfg.sizes.max_bytes() as usize];
     let mut server_busy = false;
+    let mut egress = Egress::Line(gbps);
 
     if let Some(first) = trace.first() {
         ev.schedule(first.at, SEv::Arrival(0));
@@ -556,7 +658,7 @@ where
                         sched,
                         &mut ledger,
                         &mut ev,
-                        gbps,
+                        &mut egress,
                         &mut report.integrity_violations,
                         |flow, bytes, enqueued_at| SEv::TxDone {
                             flow,
@@ -580,7 +682,7 @@ where
                     sched,
                     &mut ledger,
                     &mut ev,
-                    gbps,
+                    &mut egress,
                     &mut report.integrity_violations,
                     |flow, bytes, enqueued_at| SEv::TxDone {
                         flow,
@@ -842,6 +944,7 @@ where
     let mut payload = vec![0xA5u8; cfg.sizes.max_bytes() as usize];
     let mut next_arrival = 0usize;
     let mut server_busy = vec![false; num_shards];
+    let mut egress = Egress::Line(per_shard_gbps);
 
     if let Some(first) = trace.first() {
         ev.schedule(first.at, Ev::Arrival);
@@ -895,7 +998,7 @@ where
                         &mut scheds[shard],
                         &mut ledger,
                         &mut ev,
-                        per_shard_gbps,
+                        &mut egress,
                         &mut shards[shard].integrity_violations,
                         |flow, bytes, enqueued_at| Ev::TxDone {
                             shard,
@@ -921,7 +1024,7 @@ where
                     &mut scheds[shard],
                     &mut ledger,
                     &mut ev,
-                    per_shard_gbps,
+                    &mut egress,
                     &mut shards[shard].integrity_violations,
                     |flow, bytes, enqueued_at| Ev::TxDone {
                         shard,
@@ -1250,6 +1353,62 @@ mod tests {
             "global LQD {} < shard-local C-H {}",
             global.aggregate.delivered_bytes,
             local.aggregate.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn timed_pipeline_conserves_and_never_tears() {
+        let cfg = PipelineConfig::bursty_overload(17);
+        let mut policy = DynamicThreshold::new(2.0);
+        let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+        let r = run_timed_pipeline(&cfg, &mut policy, &mut sched, &TimingConfig::paper(8));
+        assert!(r.offered_pkts > 0);
+        assert_eq!(
+            r.offered_pkts,
+            r.delivered_pkts + r.dropped_pkts + r.evicted_pkts
+        );
+        assert_eq!(r.integrity_violations, 0);
+        assert!(r.delivered_pkts > 0);
+        assert!(r.latency_ns.mean() > 0.0);
+    }
+
+    #[test]
+    fn timed_pipeline_is_deterministic() {
+        let cfg = PipelineConfig::bursty_overload(9);
+        let run = || {
+            let mut policy = DynamicThreshold::new(2.0);
+            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+            run_timed_pipeline(&cfg, &mut policy, &mut sched, &TimingConfig::naive(4))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn more_banks_serve_no_slower() {
+        // The memory-derived egress is the bottleneck: with one DDR bank
+        // every dequeue burst serializes on the 160 ns reuse gap, while
+        // sixteen banks stripe it — the same offered trace must finish
+        // no later and deliver no less.
+        let cfg = PipelineConfig::bursty_overload(42);
+        let run = |banks: u32| {
+            let mut policy = DynamicThreshold::new(2.0);
+            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+            run_timed_pipeline(&cfg, &mut policy, &mut sched, &TimingConfig::paper(banks))
+        };
+        let one = run(1);
+        let sixteen = run(16);
+        assert!(
+            sixteen.makespan <= one.makespan,
+            "16 banks {} vs 1 bank {}",
+            sixteen.makespan,
+            one.makespan
+        );
+        assert!(sixteen.delivered_bytes >= one.delivered_bytes);
+        assert!(
+            sixteen.latency_ns.mean() <= one.latency_ns.mean(),
+            "striping must not slow service"
         );
     }
 

@@ -36,8 +36,10 @@ use crate::flows::FlowMix;
 use crate::size::SizeDistribution;
 use npqm_core::policy::DynamicThreshold;
 use npqm_core::shard::{ShardedAdmission, ShardedQueueManager};
+use npqm_core::timing::{CommandCost, MemoryChannels, PaperTiming, TimingConfig};
 use npqm_core::{Command, FlowId, Outcome, QmConfig};
 use npqm_sim::rng::Xoshiro256pp;
+use npqm_sim::time::Picos;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -107,6 +109,73 @@ impl ShardScaleConfig {
             ..ShardScaleConfig::table7()
         }
     }
+
+    /// The `table8` scenario: the `table7` workload trimmed so the
+    /// bank×scheduler sweep over [`TABLE8_BANKS`] (plus the CI
+    /// determinism re-runs) stays fast while still pushing several
+    /// hundred thousand DDR bursts through each memory channel.
+    pub fn table8() -> Self {
+        ShardScaleConfig {
+            rounds: 24,
+            packets_per_round: 1024,
+            ..ShardScaleConfig::table7()
+        }
+    }
+}
+
+/// The canonical `table8` bank-count axis (Table 1's sweep minus the
+/// 12-bank row). `table8` and `all_tables` both sweep exactly this list.
+pub const TABLE8_BANKS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// One round's offered arrivals: Zipf flow, IMIX size, and a marker byte
+/// stamped into the first payload byte. [`run_shard_scale`] and
+/// [`run_memory_scale`] both draw through this one function, so their
+/// offered traces are identical by construction — the comparability
+/// between `table7` and `table8` rests on it.
+fn round_arrivals(
+    cfg: &ShardScaleConfig,
+    mix: &FlowMix,
+    sizes: &SizeDistribution,
+    rng: &mut Xoshiro256pp,
+    seq: &mut u64,
+) -> Vec<(FlowId, Vec<u8>)> {
+    (0..cfg.packets_per_round)
+        .map(|_| {
+            let flow = mix.sample(rng);
+            let size = sizes.sample(rng) as usize;
+            let marker = *seq as u8;
+            *seq += 1;
+            let mut data = vec![0xC3u8; size];
+            data[0] = marker;
+            (flow, data)
+        })
+        .collect()
+}
+
+/// One round's drain batch: round-robin `Dequeue` passes over every
+/// flow, sized to serve `drain_fraction` of the currently queued
+/// backlog. Shared by both experiments so their drain schedules stay
+/// identical by construction.
+fn drain_batch(cfg: &ShardScaleConfig, engine: &ShardedQueueManager) -> Vec<Command> {
+    let queued_segments: u64 = (0..engine.num_shards())
+        .map(|s| {
+            let qm = engine.shard(s);
+            (0..cfg.flows)
+                .map(|f| qm.queue_len_segments(FlowId::new(f)) as u64)
+                .sum::<u64>()
+        })
+        .sum();
+    let passes =
+        ((queued_segments as f64 * cfg.drain_fraction / cfg.flows as f64).ceil() as u64).max(1);
+    let mut drain = Vec::with_capacity((passes * cfg.flows as u64) as usize);
+    for _ in 0..passes {
+        for f in 0..cfg.flows {
+            drain.push(Command::Dequeue {
+                flow: FlowId::new(f),
+            });
+        }
+    }
+    drain
 }
 
 /// Outcome of one shard count in the scaling sweep.
@@ -140,6 +209,10 @@ pub struct ShardScaleRow {
     pub residual_bytes: u64,
     /// Segments processed: enqueued (admission) plus dequeued (drain).
     pub segments_processed: u64,
+    /// Pointer-memory (ZBT SRAM) accesses the run performed, summed over
+    /// shards and proven conserved by the engine's verify pass. A pure
+    /// function of the configuration — part of the determinism report.
+    pub ptr_accesses: u64,
     /// Busy time of each shard.
     pub busy: Vec<Duration>,
     /// Busy time of the busiest shard (parallel-composite makespan).
@@ -249,6 +322,7 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize, threads: usize) ->
         drained_bytes: 0,
         residual_bytes: 0,
         segments_processed: 0,
+        ptr_accesses: 0,
         busy: Vec::new(),
         critical_path: Duration::ZERO,
         serial_time: Duration::ZERO,
@@ -266,17 +340,7 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize, threads: usize) ->
     let wall = Instant::now();
     for _ in 0..cfg.rounds {
         // --- offered batch: Zipf flows, IMIX sizes, marker-stamped ---
-        let arrivals_owned: Vec<(FlowId, Vec<u8>)> = (0..cfg.packets_per_round)
-            .map(|_| {
-                let flow = mix.sample(&mut rng);
-                let size = sizes.sample(&mut rng) as usize;
-                let marker = seq as u8;
-                seq += 1;
-                let mut data = vec![0xC3u8; size];
-                data[0] = marker;
-                (flow, data)
-            })
-            .collect();
+        let arrivals_owned = round_arrivals(cfg, &mix, &sizes, &mut rng, &mut seq);
         let arrivals: Vec<(FlowId, &[u8])> = arrivals_owned
             .iter()
             .map(|(f, d)| (*f, d.as_slice()))
@@ -302,24 +366,7 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize, threads: usize) ->
         }
 
         // --- drain batch: serve a fraction of the backlog ---
-        let queued_segments: u64 = (0..shards)
-            .map(|s| {
-                let qm = engine.shard(s);
-                (0..cfg.flows)
-                    .map(|f| qm.queue_len_segments(FlowId::new(f)) as u64)
-                    .sum::<u64>()
-            })
-            .sum();
-        let passes =
-            ((queued_segments as f64 * cfg.drain_fraction / cfg.flows as f64).ceil() as u64).max(1);
-        let mut drain = Vec::with_capacity((passes * cfg.flows as u64) as usize);
-        for _ in 0..passes {
-            for f in 0..cfg.flows {
-                drain.push(Command::Dequeue {
-                    flow: FlowId::new(f),
-                });
-            }
-        }
+        let drain = drain_batch(cfg, &engine);
         let served = if threads == 1 {
             engine.execute_batch(&drain)
         } else {
@@ -366,6 +413,7 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize, threads: usize) ->
         .verify()
         .expect("sharded engine invariants hold after the run");
     row.residual_bytes = report.payload_bytes;
+    row.ptr_accesses = report.ptr.total();
     let residual_pkts: u64 = ledger.iter().map(|l| l.len() as u64).sum();
     // A flow mid-reassembly still owns its ledger slot; its drained
     // segments are in drained_bytes, the rest in residual_bytes — the
@@ -419,6 +467,265 @@ pub fn run_thread_sweep(
     thread_counts
         .iter()
         .map(|&t| run_shard_scale(cfg, shards, t))
+        .collect()
+}
+
+/// Outcome of one memory organisation (bank count × scheduler) in the
+/// memory-timed sweep — the workload behind `table8`.
+///
+/// Every field is a pure function of the configuration: the modeled
+/// clocks contain no wall time, so the whole row participates in the CI
+/// determinism diff across thread counts (only `threads` itself is
+/// excluded from the report document).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryScaleRow {
+    /// DDR banks in the data memory.
+    pub banks: u32,
+    /// True under the §3 reordering scheduler, false under naive
+    /// round-robin.
+    pub reordering: bool,
+    /// Number of shards (one memory channel each).
+    pub shards: usize,
+    /// Worker threads the batches ran on (identical results at any
+    /// count; recorded for transparency only).
+    pub threads: usize,
+    /// Packets the mix offered for admission.
+    pub offered_pkts: u64,
+    /// Packets admitted by the shard-local thresholds.
+    pub admitted_pkts: u64,
+    /// Packets refused at admission.
+    pub dropped_pkts: u64,
+    /// Payload bytes admitted.
+    pub admitted_bytes: u64,
+    /// Payload bytes drained by the dequeue batches.
+    pub drained_bytes: u64,
+    /// Payload bytes still queued at the end (verify walk).
+    pub residual_bytes: u64,
+    /// Segments enqueued + dequeued.
+    pub segments_processed: u64,
+    /// Successful queue operations executed by the engine.
+    pub queue_ops: u64,
+    /// Pointer-memory (ZBT) accesses charged.
+    pub ptr_accesses: u64,
+    /// Data-memory read bursts charged.
+    pub data_reads: u64,
+    /// Data-memory write bursts charged.
+    pub data_writes: u64,
+    /// DDR access slots lost to bank conflicts.
+    pub conflict_slots: u64,
+    /// DDR access slots lost to write-after-read turnaround.
+    pub turnaround_slots: u64,
+    /// Absolute time of each shard's memory channel at the end.
+    pub per_shard_time: Vec<Picos>,
+    /// The busiest channel's time — the memory-derived makespan of the
+    /// N-engine composite.
+    pub modeled_time: Picos,
+    /// Whether `admitted == drained + residual` closed on bytes.
+    pub conserved: bool,
+    /// Engine state digest folded with the modeled channel clocks and
+    /// charge totals: one value pinning the run's entire deterministic
+    /// outcome, byte-identical at any thread count.
+    pub fingerprint: u64,
+}
+
+impl MemoryScaleRow {
+    /// Memory-derived throughput: queue operations per second of modeled
+    /// time — the paper's "queue ops/sec vs memory organisation" axis.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.modeled_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.queue_ops as f64 / secs
+    }
+
+    /// Memory-derived payload throughput in Gbit/s: bytes actually moved
+    /// through the data memories over the modeled makespan. Aggregate
+    /// across all shards, so the ceiling is `shards ×` one device's peak
+    /// (`npqm_mem::DdrConfig::peak_gbps`, 12.8 Gbit/s for the paper's
+    /// part) — each shard owns a private channel.
+    pub fn data_gbps(&self, segment_bytes: u32) -> f64 {
+        let ns = self.modeled_time.as_nanos_f64();
+        if ns <= 0.0 {
+            return 0.0;
+        }
+        (self.data_reads + self.data_writes) as f64 * segment_bytes as f64 * 8.0 / ns
+    }
+
+    /// Fraction of charged DDR slots lost to conflicts + turnaround —
+    /// comparable to Table 1's throughput-loss column.
+    pub fn ddr_loss(&self) -> f64 {
+        let useful = self.data_reads + self.data_writes;
+        let total = useful + self.conflict_slots + self.turnaround_slots;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - useful as f64 / total as f64
+    }
+}
+
+/// Runs the Zipf/IMIX offer/drain workload with **memory-derived**
+/// timing: the engine records every pointer and data access, one
+/// [`PaperTiming`] channel per shard replays them through the ZBT/DDR
+/// models, and throughput is `queue ops / busiest channel's modeled
+/// time` instead of measured busy time.
+///
+/// The offered trace, the admission decisions and the engine end state
+/// are identical to what [`run_shard_scale`] computes for the same
+/// configuration — tracing only records. `threads` selects serial or
+/// thread-parallel batch execution; because the recorded per-shard
+/// streams are deterministic, the charged costs (and the row
+/// fingerprint) are byte-identical at any thread count.
+///
+/// # Panics
+///
+/// As [`run_shard_scale`].
+pub fn run_memory_scale(
+    cfg: &ShardScaleConfig,
+    shards: usize,
+    threads: usize,
+    timing: &TimingConfig,
+) -> MemoryScaleRow {
+    let qm_cfg = QmConfig::builder()
+        .num_flows(cfg.flows)
+        .num_segments(cfg.total_segments)
+        .segment_bytes(cfg.segment_bytes)
+        .build()
+        .expect("scale configuration must be valid");
+    let mut engine =
+        ShardedQueueManager::partitioned(qm_cfg, shards).expect("per-shard buffer is non-empty");
+    engine.set_tracing(true);
+    let mut channels = MemoryChannels::from_fn(shards, |_| PaperTiming::new(*timing));
+    let mut adm = ShardedAdmission::from_fn(shards, |_| DynamicThreshold::new(cfg.alpha));
+    let mix = FlowMix::zipf(cfg.flows, cfg.zipf_exponent);
+    let sizes = SizeDistribution::Imix;
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+    assert!(threads > 0, "need at least one worker thread");
+
+    let mut row = MemoryScaleRow {
+        banks: timing.ddr.banks,
+        reordering: timing.reordering,
+        shards,
+        threads,
+        offered_pkts: 0,
+        admitted_pkts: 0,
+        dropped_pkts: 0,
+        admitted_bytes: 0,
+        drained_bytes: 0,
+        residual_bytes: 0,
+        segments_processed: 0,
+        queue_ops: 0,
+        ptr_accesses: 0,
+        data_reads: 0,
+        data_writes: 0,
+        conflict_slots: 0,
+        turnaround_slots: 0,
+        per_shard_time: Vec::new(),
+        modeled_time: Picos::ZERO,
+        conserved: false,
+        fingerprint: 0,
+    };
+    let mut totals = CommandCost::default();
+    let seg_bytes = cfg.segment_bytes as usize;
+    let mut seq = 0u64;
+
+    for _ in 0..cfg.rounds {
+        // Offered batch: `round_arrivals` guarantees the identical trace
+        // (order, flows, sizes, payloads) to `run_shard_scale`.
+        let arrivals_owned = round_arrivals(cfg, &mix, &sizes, &mut rng, &mut seq);
+        let arrivals: Vec<(FlowId, &[u8])> = arrivals_owned
+            .iter()
+            .map(|(f, d)| (*f, d.as_slice()))
+            .collect();
+        let admissions = if threads == 1 {
+            adm.offer_batch(&mut engine, &arrivals)
+        } else {
+            adm.offer_batch_parallel(&mut engine, &arrivals, threads)
+        };
+        for (result, (_, data)) in admissions.iter().zip(&arrivals_owned) {
+            row.offered_pkts += 1;
+            match result {
+                Ok(_) => {
+                    row.admitted_pkts += 1;
+                    row.admitted_bytes += data.len() as u64;
+                    row.segments_processed += data.len().div_ceil(seg_bytes) as u64;
+                }
+                Err(_) => row.dropped_pkts += 1,
+            }
+        }
+
+        // Drain batch: `drain_batch` guarantees the identical schedule
+        // to `run_shard_scale`.
+        let drain = drain_batch(cfg, &engine);
+        let served = if threads == 1 {
+            engine.execute_batch(&drain)
+        } else {
+            engine.execute_batch_parallel(&drain, threads)
+        };
+        for result in &served {
+            if let Ok(Outcome::Segment(seg)) = result {
+                row.segments_processed += 1;
+                row.drained_bytes += seg.data.len() as u64;
+            }
+        }
+
+        // Charge the round's recorded traffic to the per-shard channels.
+        let cost = channels.charge_engine(&mut engine);
+        totals.absorb(&cost.totals);
+    }
+
+    let report = engine
+        .verify()
+        .expect("sharded engine invariants hold after the run");
+    row.residual_bytes = report.payload_bytes;
+    row.queue_ops = engine.stats().total_ops();
+    row.ptr_accesses = totals.ptr_accesses;
+    row.data_reads = totals.data_reads;
+    row.data_writes = totals.data_writes;
+    row.conflict_slots = totals.conflict_slots;
+    row.turnaround_slots = totals.turnaround_slots;
+    row.per_shard_time = channels.per_channel_elapsed();
+    row.modeled_time = channels.elapsed();
+    // Conservation closes on two ledgers at once: every admitted byte is
+    // drained or still queued, and every pointer access the engine
+    // performed was charged to a memory channel (the verify-pass
+    // counters equal the charged totals exactly).
+    row.conserved = row.admitted_bytes == row.drained_bytes + row.residual_bytes
+        && report.ptr.total() == row.ptr_accesses;
+    let fold = npqm_core::check::fnv1a_fold;
+    let mut h = engine.state_digest();
+    for &t in &row.per_shard_time {
+        h = fold(h, t.as_u64());
+    }
+    for v in [
+        row.ptr_accesses,
+        row.data_reads,
+        row.data_writes,
+        row.conflict_slots,
+        row.turnaround_slots,
+    ] {
+        h = fold(h, v);
+    }
+    row.fingerprint = h;
+    row
+}
+
+/// Runs [`run_memory_scale`] for every bank count under both schedulers
+/// (naive first, then reordering, per bank count) — the `table8` sweep.
+pub fn run_memory_sweep(
+    cfg: &ShardScaleConfig,
+    shards: usize,
+    banks: &[u32],
+    threads: usize,
+) -> Vec<MemoryScaleRow> {
+    banks
+        .iter()
+        .flat_map(|&b| {
+            [
+                run_memory_scale(cfg, shards, threads, &TimingConfig::naive(b)),
+                run_memory_scale(cfg, shards, threads, &TimingConfig::paper(b)),
+            ]
+        })
         .collect()
 }
 
@@ -479,6 +786,7 @@ mod tests {
             assert_eq!(row.drained_bytes, reference.drained_bytes);
             assert_eq!(row.residual_bytes, reference.residual_bytes);
             assert_eq!(row.segments_processed, reference.segments_processed);
+            assert_eq!(row.ptr_accesses, reference.ptr_accesses);
             assert_eq!(row.torn_frames, 0);
             assert!(row.conserved);
             assert_eq!(
@@ -503,5 +811,91 @@ mod tests {
         assert_eq!(rows[0].threads, 1);
         assert_eq!(rows[1].threads, 2);
         assert_eq!(rows[0].fingerprint, rows[1].fingerprint);
+    }
+
+    #[test]
+    fn memory_scale_conserves_and_derives_time_from_the_model() {
+        let cfg = ShardScaleConfig::smoke();
+        let row = run_memory_scale(&cfg, 2, 1, &TimingConfig::paper(8));
+        assert_eq!(row.banks, 8);
+        assert!(row.reordering);
+        assert_eq!(row.offered_pkts, row.admitted_pkts + row.dropped_pkts);
+        assert!(row.dropped_pkts > 0, "overload must drop");
+        assert!(row.conserved, "ledgers must close: {row:?}");
+        assert!(row.ptr_accesses > 0);
+        assert!(row.data_reads > 0 && row.data_writes > 0);
+        assert!(row.modeled_time > Picos::ZERO);
+        assert!(row.ops_per_sec() > 0.0);
+        assert_eq!(row.per_shard_time.len(), 2);
+        assert!(row.per_shard_time.iter().all(|&t| t <= row.modeled_time));
+        assert!((0.0..=1.0).contains(&row.ddr_loss()));
+        assert!(row.data_gbps(cfg.segment_bytes) > 0.0);
+    }
+
+    #[test]
+    fn memory_scale_is_thread_invariant() {
+        let cfg = ShardScaleConfig::smoke();
+        let timing = TimingConfig::paper(4);
+        let reference = run_memory_scale(&cfg, 4, 1, &timing);
+        for threads in [2usize, 4] {
+            let row = run_memory_scale(&cfg, 4, threads, &timing);
+            assert_eq!(row.threads, threads);
+            let mut masked = row.clone();
+            masked.threads = reference.threads;
+            assert_eq!(
+                masked, reference,
+                "threads={threads}: memory-derived row diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_scale_behaves_like_the_untimed_run() {
+        // Tracing and charging must not change what the engine computes:
+        // the admitted set matches an untimed run of the same seed.
+        let cfg = ShardScaleConfig::smoke();
+        let untimed = run_shard_scale(&cfg, 2, 1);
+        let timed = run_memory_scale(&cfg, 2, 1, &TimingConfig::paper(8));
+        assert_eq!(timed.offered_pkts, untimed.offered_pkts);
+        assert_eq!(timed.admitted_pkts, untimed.admitted_pkts);
+        assert_eq!(timed.dropped_pkts, untimed.dropped_pkts);
+        assert_eq!(timed.admitted_bytes, untimed.admitted_bytes);
+        assert_eq!(timed.drained_bytes, untimed.drained_bytes);
+        assert_eq!(timed.residual_bytes, untimed.residual_bytes);
+        assert_eq!(timed.ptr_accesses, untimed.ptr_accesses);
+    }
+
+    #[test]
+    fn reordering_never_slower_and_single_bank_serializes() {
+        let cfg = ShardScaleConfig::smoke();
+        for banks in [1u32, 8] {
+            let naive = run_memory_scale(&cfg, 2, 1, &TimingConfig::naive(banks));
+            let opt = run_memory_scale(&cfg, 2, 1, &TimingConfig::paper(banks));
+            assert!(
+                opt.modeled_time <= naive.modeled_time,
+                "banks {banks}: reordering {} vs naive {}",
+                opt.modeled_time,
+                naive.modeled_time
+            );
+        }
+        let one = run_memory_scale(&cfg, 2, 1, &TimingConfig::paper(1));
+        let eight = run_memory_scale(&cfg, 2, 1, &TimingConfig::paper(8));
+        assert!(
+            one.ops_per_sec() < eight.ops_per_sec(),
+            "1 bank {} vs 8 banks {}",
+            one.ops_per_sec(),
+            eight.ops_per_sec()
+        );
+        assert!(one.ddr_loss() > eight.ddr_loss());
+    }
+
+    #[test]
+    fn memory_sweep_returns_naive_and_reordering_per_bank() {
+        let rows = run_memory_sweep(&ShardScaleConfig::smoke(), 2, &[1, 4], 1);
+        assert_eq!(rows.len(), 4);
+        assert_eq!((rows[0].banks, rows[0].reordering), (1, false));
+        assert_eq!((rows[1].banks, rows[1].reordering), (1, true));
+        assert_eq!((rows[2].banks, rows[2].reordering), (4, false));
+        assert_eq!((rows[3].banks, rows[3].reordering), (4, true));
     }
 }
