@@ -9,9 +9,10 @@
 #   ./ci.sh         # full pipeline: fmt, clippy, docs, tier-1, tables,
 #                   # golden checks, parallel-determinism diff, every
 #                   # example, bench smoke, bench artifacts
-#   ./ci.sh quick   # tier-1 (build + test) plus the table6 golden check,
-#                   # so even the fast path catches torn-frame and
-#                   # conservation regressions
+#   ./ci.sh quick   # tier-1 (build + test) plus the table6 and table9
+#                   # golden checks, so even the fast path catches
+#                   # torn-frame, conservation and competitive-ratio
+#                   # regressions
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -30,6 +31,8 @@ tier1() {
 golden_quick() {
     echo "==> table6 --check (drop-policy conservation gates)"
     cargo run --release -q -p npqm-bench --bin table6 -- --check
+    echo "==> table9 --check (competitive-ratio gates: LQD <= 1.5, adversary gaps)"
+    cargo run --release -q -p npqm-bench --bin table9 -- --check
 }
 
 golden_full() {
@@ -43,6 +46,9 @@ golden_full() {
     echo "==> table8 --check at NPQM_THREADS=1 (memory-timing gates, serial leg)"
     NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table8 -- \
         --check --report target/table8-det-threads1.json
+    echo "==> table9 --check at NPQM_THREADS=1 (competitive-ratio gates, serial leg)"
+    NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table9 -- \
+        --check --report target/table9-det-threads1.json
 }
 
 # The headline guarantee of the thread-parallel executor: for a fixed
@@ -57,7 +63,10 @@ parallel_determinism() {
     echo "==> parallel-determinism: table8 --check at NPQM_THREADS=4"
     NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table8 -- \
         --check --report target/table8-det-threads4.json
-    for t in table7 table8; do
+    echo "==> parallel-determinism: table9 --check at NPQM_THREADS=4"
+    NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table9 -- \
+        --check --report target/table9-det-threads4.json
+    for t in table7 table8 table9; do
         echo "==> parallel-determinism: diff ${t} threads=1 vs threads=4 reports"
         if ! diff -u "target/${t}-det-threads1.json" "target/${t}-det-threads4.json"; then
             echo "parallel-determinism FAILED: ${t} reports differ between 1 and 4 threads" >&2
@@ -71,10 +80,11 @@ parallel_determinism() {
 # hosted pipeline so the perf trajectory accumulates per commit. These
 # include the wall-clock measurements the determinism reports exclude.
 bench_artifacts() {
-    echo "==> bench artifacts (BENCH_table6.json, BENCH_table7.json, BENCH_table8.json)"
+    echo "==> bench artifacts (BENCH_table6/7/8/9.json)"
     cargo run --release -q -p npqm-bench --bin table6 -- --json BENCH_table6.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table7 -- --json BENCH_table7.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table8 -- --json BENCH_table8.json >/dev/null
+    cargo run --release -q -p npqm-bench --bin table9 -- --json BENCH_table9.json >/dev/null
 }
 
 if [[ "${1:-}" == "quick" ]]; then

@@ -13,6 +13,7 @@ struct Summary {
     table6: Vec<Table6Out>,
     table7: Vec<Table7Out>,
     table8: Vec<Table8Out>,
+    table9: Vec<npqm_bench::competitive::Table9Row>,
     saturation_mpps: f64,
     saturation_gbps: f64,
 }
@@ -32,6 +33,7 @@ impl ToJson for Summary {
             ("table6", self.table6.to_json()),
             ("table7", self.table7.to_json()),
             ("table8", self.table8.to_json()),
+            ("table9", self.table9.to_json()),
             ("saturation_mpps", self.saturation_mpps.to_json()),
             ("saturation_gbps", self.saturation_gbps.to_json()),
         ])
@@ -210,6 +212,9 @@ fn main() {
     })
     .collect();
 
+    eprintln!("running Table 9 (competitive-analysis arena)...");
+    let table9 = npqm_bench::competitive::run_table9();
+
     let summary = Summary {
         table1,
         table2,
@@ -220,6 +225,7 @@ fn main() {
         table6,
         table7,
         table8,
+        table9,
         saturation_mpps: mpps.get(),
         saturation_gbps: gbps.get(),
     };

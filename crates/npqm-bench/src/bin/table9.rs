@@ -1,0 +1,214 @@
+//! Table 9 (ours): empirical competitive ratios of the shipped drop
+//! policies against a certified offline bound, under friendly (Zipf)
+//! and adversarial arrival sequences.
+//!
+//! Each row runs one policy through the slotted competitive-analysis
+//! arena of `npqm_core::arena` on one trace and reports
+//! `bound / goodput`, where the bound is the certified offline upper
+//! bound (`offline_bound`: interval + per-port relaxations, exact
+//! branch-and-bound on small traces). Because the bound
+//! over-approximates OPT, every printed ratio is an upper bound on the
+//! true empirical competitive ratio of that run. The traces include one
+//! adversary per policy family (`npqm_traffic::adversary`), so the
+//! ratios are measured where each policy is *weak*, not only where it
+//! shines.
+//!
+//! `table9 --check` runs the machine-checkable golden gates instead of
+//! the pretty table: packet conservation and bound validity on every
+//! cell, in-process run-to-run determinism, LQD's ratio at most 1.5 on
+//! every shared-memory trace (the Matsakis theorem gate), each
+//! adversary hurting its target policy measurably more than the Zipf
+//! baseline does, and the work-aware policies beating work-oblivious
+//! admission on the anti-work trace. `--report <path>` writes a
+//! machine-readable document of the rows — every field is
+//! deterministic, so the CI `parallel-determinism` stage diffs it
+//! across `NPQM_THREADS` values. `--json <path>` (without `--check`)
+//! writes the same rows as the per-commit bench artifact.
+
+use npqm_bench::competitive::{
+    cell, run_table9, Table9Row, ADVERSARY_GAP, LQD_RATIO_CAP, SHARED_BUFFER, SHARED_PORTS,
+    WORK_BUFFER, WORK_PORTS,
+};
+use npqm_bench::json::{Json, ToJson};
+
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("table9 check: {what}: ok");
+    } else {
+        eprintln!("table9 check FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+/// The (target policy, adversary trace, scenario) triples the gap gates
+/// compare against their scenario's friendly baseline.
+const TARGETS: &[(&str, &str, &str, &str)] = &[
+    ("lqd", "anti-lqd", "shared-memory", "zipf"),
+    ("dyn-threshold", "anti-ch", "shared-memory", "zipf"),
+    ("static-split", "anti-taildrop", "shared-memory", "zipf"),
+    ("tail-greedy", "anti-work", "work-server", "work-zipf"),
+];
+
+fn run_check(report_path: Option<&str>) {
+    let rows = run_table9();
+    check(
+        rows == run_table9(),
+        "two in-process runs produce identical rows (determinism)",
+    );
+    for r in &rows {
+        let c = format!("{}/{}/{}", r.scenario, r.policy, r.trace);
+        check(r.conserved, &format!("{c}: packet conservation"));
+        check(
+            r.bound_valid,
+            &format!(
+                "{c}: offline bound {} >= online goodput {}",
+                r.bound_bytes, r.goodput_bytes
+            ),
+        );
+    }
+    // The cited-theorem gate: LQD is 1.5-competitive for shared-memory
+    // switches (Matsakis), so its measured ratio — even against an
+    // over-approximated OPT and a trace built to hurt it — must stay
+    // at or below 1.5.
+    for r in rows
+        .iter()
+        .filter(|r| r.scenario == "shared-memory" && r.policy == "lqd")
+    {
+        check(
+            r.ratio <= LQD_RATIO_CAP,
+            &format!(
+                "lqd on {}: ratio {:.3} within the Matsakis 1.5 cap",
+                r.trace, r.ratio
+            ),
+        );
+    }
+    // Each adversary must hurt its target more than the friendly
+    // baseline does — otherwise the worst-case measurement is
+    // decorative.
+    for &(policy, adv, scenario, base) in TARGETS {
+        let hostile = cell(&rows, scenario, policy, adv);
+        let friendly = cell(&rows, scenario, policy, base);
+        check(
+            hostile.ratio > friendly.ratio + ADVERSARY_GAP,
+            &format!(
+                "{policy}: {adv} ratio {:.3} beats {base} ratio {:.3} by > {ADVERSARY_GAP}",
+                hostile.ratio, friendly.ratio
+            ),
+        );
+    }
+    // And admitting by work must actually pay where work matters.
+    let oblivious = cell(&rows, "work-server", "tail-greedy", "anti-work");
+    for aware in ["po-work", "work-balance"] {
+        let r = cell(&rows, "work-server", aware, "anti-work");
+        check(
+            oblivious.ratio > r.ratio + ADVERSARY_GAP,
+            &format!(
+                "anti-work: work-oblivious ratio {:.3} trails {aware} ratio {:.3}",
+                oblivious.ratio, r.ratio
+            ),
+        );
+    }
+
+    if let Some(path) = report_path {
+        let doc = Json::obj([("competitive_rows", rows.to_json())]);
+        write_file(path, &doc.pretty());
+    }
+    println!("table9 check: PASS");
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("table9: wrote {path}");
+}
+
+fn print_table(rows: &[Table9Row]) {
+    println!(
+        "{:>14} {:>13} {:>14} {:>8} {:>8} {:>8} {:>9} {:>9} {:>6} {:>7}",
+        "scenario",
+        "policy",
+        "trace",
+        "offered",
+        "dropped",
+        "evicted",
+        "goodput",
+        "bound",
+        "exact",
+        "ratio"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>13} {:>14} {:>8} {:>8} {:>8} {:>9} {:>9} {:>6} {:>7.3}",
+            r.scenario,
+            r.policy,
+            r.trace,
+            r.offered_packets,
+            r.dropped_packets,
+            r.evicted_packets,
+            r.goodput_bytes,
+            r.bound_bytes,
+            if r.bound_exact { "yes" } else { "no" },
+            r.ratio,
+        );
+        assert!(r.conserved && r.bound_valid, "{}: soundness", r.policy);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if args.iter().any(|a| a == "--check") {
+        if flag_value("--json").is_some() {
+            eprintln!(
+                "table9: --json is ignored in --check mode (run without --check for the \
+                 bench artifact; --report writes the determinism document)"
+            );
+        }
+        run_check(flag_value("--report").as_deref());
+        return;
+    }
+
+    let rows = run_table9();
+    println!("Table 9 (ours): empirical competitive ratios vs certified offline bound");
+    println!("=======================================================================");
+    println!(
+        "shared-memory switch: {SHARED_PORTS} ports, {SHARED_BUFFER}-segment shared buffer, \
+         one packet per port per slot (Matsakis model)"
+    );
+    println!(
+        "work server: {WORK_PORTS} ports, {WORK_BUFFER}-segment buffer, one round-robin server, \
+         service time = size + per-packet work (Kogan et al. model)"
+    );
+    println!("ratio = offline bound / online goodput (an upper bound on the true ratio)");
+    println!();
+    print_table(&rows);
+    let worst = rows
+        .iter()
+        .filter(|r| r.policy == "lqd" && r.scenario == "shared-memory")
+        .max_by(|a, b| a.ratio.total_cmp(&b.ratio))
+        .expect("lqd rows");
+    println!();
+    println!(
+        "headline: LQD's worst measured ratio is {:.3} (on {}), within the 1.5 the \
+         theorem guarantees; its adversary lifts its ratio from {:.3} (zipf) to {:.3}",
+        worst.ratio,
+        worst.trace,
+        cell(&rows, "shared-memory", "lqd", "zipf").ratio,
+        cell(&rows, "shared-memory", "lqd", "anti-lqd").ratio,
+    );
+
+    if let Some(path) = flag_value("--json") {
+        let doc = Json::obj([
+            ("table", "table9".to_json()),
+            ("competitive_rows", rows.to_json()),
+        ]);
+        write_file(&path, &doc.pretty());
+    }
+}

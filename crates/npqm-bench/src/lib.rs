@@ -11,12 +11,16 @@
 //! * `table4` — MMS command execution latencies (§6.1);
 //! * `table5` — MMS FIFO/execution/data delays vs. load (§6.1), also
 //!   emitted as a CSV latency-vs-load series;
+//! * `table9` — the competitive-analysis arena (see [`competitive`]):
+//!   empirical competitive ratios of every shipped drop policy against a
+//!   certified offline bound, under Zipf and adversarial traffic;
 //! * `all-tables` — everything above, plus a JSON dump for EXPERIMENTS.md.
 //!
 //! The `benches/` directory contains criterion micro-benchmarks of the
 //! host-speed library (queue operations, schedulers, codecs) and ablations
 //! (free-list discipline, scheduler run limit, DMC lookahead).
 
+pub mod competitive;
 pub mod json;
 
 pub use json::{Json, ToJson};

@@ -332,6 +332,7 @@ pub fn state_digest(qm: &QueueManager) -> u64 {
             h = fnv1a(h, u64::from(pr.bytes));
             h = fnv1a(h, u64::from(pr.started));
             h = fnv1a(h, u64::from(pr.eop));
+            h = fnv1a(h, u64::from(pr.work));
             let mut seg = pr.first;
             while !seg.is_nil() {
                 let rec = pm.seg_silent(seg);

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod check;
 pub mod command;
 pub mod config;
@@ -60,12 +61,16 @@ pub mod shard;
 pub mod stats;
 pub mod timing;
 
+pub use arena::{ArenaConfig, ArenaPacket, ArenaReport, ArenaTrace, OfflineBound, ServiceModel};
 pub use command::{Command, Outcome};
 pub use config::QmConfig;
 pub use error::QueueError;
 pub use id::{FlowId, PacketId, SegmentId};
 pub use manager::{DequeuedSegment, QueueManager, SegmentPosition};
-pub use policy::{Admission, DropPolicy, DynamicThreshold, LongestQueueDrop, Refusal};
+pub use policy::{
+    Admission, DropPolicy, DynamicThreshold, LongestQueueDrop, PushOutLargestWork, Refusal,
+    WorkSizeBalance,
+};
 pub use sar::{Reassembler, Segmenter};
 pub use shard::parallel::{GlobalDropPolicy, GlobalLqd, GlobalOccupancy};
 pub use shard::{ShardedAdmission, ShardedInvariantReport, ShardedQueueManager};

@@ -395,6 +395,7 @@ impl QueueManager {
             pr.bytes = len as u32;
             pr.started = false;
             pr.eop = pos.is_last();
+            pr.work = 0;
             self.ptr.set_pkt(pid, pr);
             if q.tail_pkt.is_nil() {
                 q.head_pkt = pid;
@@ -458,6 +459,82 @@ impl QueueManager {
             }
         }
         Ok(())
+    }
+
+    /// As [`QueueManager::enqueue_packet`], additionally stamping the
+    /// packet's required-processing-`work` dimension (see
+    /// [`PktRecord::work`](crate::ptrmem::PktRecord::work)).
+    ///
+    /// With `work == 0` this is *exactly* `enqueue_packet`: no extra
+    /// pointer-memory traffic, bit-identical state digest — the
+    /// zero-work equivalence the arena's legacy paths rely on. A
+    /// non-zero `work` costs one extra packet-record read/write pair to
+    /// stamp the tail record.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueManager::enqueue_packet`].
+    pub fn enqueue_packet_with_work(
+        &mut self,
+        flow: FlowId,
+        packet: &[u8],
+        work: u32,
+    ) -> Result<(), QueueError> {
+        self.enqueue_packet(flow, packet)?;
+        if work != 0 {
+            self.set_tail_work(flow, work)
+                .expect("packet was just enqueued");
+        }
+        Ok(())
+    }
+
+    /// Stamps the required-processing-work of `flow`'s newest (tail)
+    /// packet.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::QueueEmpty`] if the flow holds no packet, or
+    /// [`QueueError::UnknownFlow`] for an invalid flow.
+    pub fn set_tail_work(&mut self, flow: FlowId, work: u32) -> Result<(), QueueError> {
+        self.check_flow(flow)?;
+        let q = self.ptr.queue(flow);
+        if q.tail_pkt.is_nil() {
+            return Err(QueueError::QueueEmpty { flow });
+        }
+        let mut pr = self.ptr.pkt(q.tail_pkt);
+        pr.work = work;
+        self.ptr.set_pkt(q.tail_pkt, pr);
+        Ok(())
+    }
+
+    /// The required-processing-work stamped on `flow`'s head packet, or
+    /// `None` for an empty/invalid flow. Uncounted read (a policy query,
+    /// like [`QueueManager::head_in_service`]).
+    pub fn head_work(&self, flow: FlowId) -> Option<u32> {
+        if self.check_flow(flow).is_err() {
+            return None;
+        }
+        let q = self.ptr.queue_silent(flow);
+        if q.head_pkt.is_nil() {
+            return None;
+        }
+        Some(self.ptr.pkt_silent(q.head_pkt).work)
+    }
+
+    /// Total required-processing-work queued on `flow` (all packets,
+    /// complete and open). Uncounted chain walk.
+    pub fn queue_work(&self, flow: FlowId) -> u64 {
+        if self.check_flow(flow).is_err() {
+            return 0;
+        }
+        let mut total = 0u64;
+        let mut pid = self.ptr.queue_silent(flow).head_pkt;
+        while !pid.is_nil() {
+            let pr = self.ptr.pkt_silent(pid);
+            total += u64::from(pr.work);
+            pid = pr.next_pkt;
+        }
+        total
     }
 
     /// Drops the still-open tail packet of `flow` (rollback path).
@@ -1178,6 +1255,10 @@ impl QueueManager {
             first = false;
             cur = rec.next;
         }
+        if pr.work != 0 {
+            // The copy owes the same processing effort as the original.
+            self.set_tail_work(dst, pr.work).expect("just enqueued");
+        }
         Ok(())
     }
 
@@ -1201,6 +1282,66 @@ mod tests {
 
     fn qm() -> QueueManager {
         QueueManager::new(QmConfig::small())
+    }
+
+    #[test]
+    fn zero_work_enqueue_is_digest_and_counter_identical() {
+        // The work dimension must be invisible at work == 0: same state
+        // digest AND same pointer-memory traffic as the legacy path.
+        let mut legacy = qm();
+        let mut work0 = qm();
+        for k in 0..6u32 {
+            let f = FlowId::new(k % 3);
+            let payload = vec![k as u8; 40 + 30 * k as usize];
+            legacy.enqueue_packet(f, &payload).unwrap();
+            work0.enqueue_packet_with_work(f, &payload, 0).unwrap();
+        }
+        legacy.dequeue_packet(FlowId::new(0)).unwrap();
+        work0.dequeue_packet(FlowId::new(0)).unwrap();
+        assert_eq!(
+            crate::check::state_digest(&legacy),
+            crate::check::state_digest(&work0)
+        );
+        assert_eq!(legacy.ptr_counters(), work0.ptr_counters());
+    }
+
+    #[test]
+    fn work_survives_queueing_moving_and_copying() {
+        let mut m = qm();
+        let (a, b, c) = (FlowId::new(0), FlowId::new(1), FlowId::new(2));
+        m.enqueue_packet_with_work(a, &[7u8; 100], 5).unwrap();
+        m.enqueue_packet_with_work(a, &[8u8; 64], 2).unwrap();
+        assert_eq!(m.head_work(a), Some(5));
+        assert_eq!(m.queue_work(a), 7);
+        // A copy owes the same effort as the original.
+        m.copy_packet(a, c).unwrap();
+        assert_eq!(m.head_work(c), Some(5));
+        // A move carries the record (and its work) wholesale.
+        m.move_packet(a, b).unwrap();
+        assert_eq!(m.head_work(b), Some(5));
+        assert_eq!(m.head_work(a), Some(2));
+        // Work changes the digest: a work-5 head differs from work-0.
+        let d1 = crate::check::state_digest(&m);
+        m.set_tail_work(b, 0).unwrap();
+        assert_ne!(d1, crate::check::state_digest(&m));
+        // Dequeue recycles the record; the next packet starts at 0.
+        m.dequeue_packet(b).unwrap();
+        m.enqueue_packet(b, &[9u8; 30]).unwrap();
+        assert_eq!(m.head_work(b), Some(0));
+        assert_eq!(m.head_work(FlowId::new(7)), None, "empty flow");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn set_tail_work_rejects_empty_and_unknown_flows() {
+        let mut m = qm();
+        assert!(matches!(
+            m.set_tail_work(FlowId::new(0), 3),
+            Err(QueueError::QueueEmpty { .. })
+        ));
+        assert!(m.set_tail_work(FlowId::new(10_000), 3).is_err());
+        assert_eq!(m.head_work(FlowId::new(10_000)), None);
+        assert_eq!(m.queue_work(FlowId::new(10_000)), 0);
     }
 
     #[test]

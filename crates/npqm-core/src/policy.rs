@@ -16,7 +16,12 @@
 //!   [`QueueManager::longest_queue`] query;
 //! * **[`DynamicThreshold`]** — Choudhury–Hahne dynamic thresholds: a
 //!   flow may occupy at most `alpha ×` the *unused* buffer space, so
-//!   thresholds tighten automatically as the buffer fills.
+//!   thresholds tighten automatically as the buffer fills;
+//! * **[`PushOutLargestWork`]** / **[`WorkSizeBalance`]** — the
+//!   work-aware push-out disciplines of Kogan et al., driven by the
+//!   packets' required-processing-work dimension through
+//!   [`DropPolicy::offer_work`] (the competitive-analysis arena in
+//!   [`crate::arena`] measures all of these against an offline bound).
 //!
 //! Policies compose with (rather than modify) the engine, exactly like
 //! the tail-drop policer in [`crate::limits`]: they read occupancy
@@ -93,6 +98,33 @@ pub trait DropPolicy {
         flow: FlowId,
         packet: &[u8],
     ) -> Result<Admission, Refusal>;
+
+    /// Offers one whole packet carrying a required-processing-`work`
+    /// dimension (see [`PktRecord::work`](crate::ptrmem::PktRecord::work)).
+    ///
+    /// The default implementation makes every policy *work-oblivious*:
+    /// it decides via [`DropPolicy::offer`] and, on admission, stamps
+    /// `work` onto the packet so downstream service models still charge
+    /// it. Work-*aware* policies ([`PushOutLargestWork`],
+    /// [`WorkSizeBalance`]) override this and let `work` drive the
+    /// eviction choice itself.
+    ///
+    /// # Errors
+    ///
+    /// As [`DropPolicy::offer`].
+    fn offer_work(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+        work: u32,
+    ) -> Result<Admission, Refusal> {
+        let admission = self.offer(qm, flow, packet)?;
+        if work != 0 {
+            qm.set_tail_work(flow, work).expect("packet just admitted");
+        }
+        Ok(admission)
+    }
 }
 
 /// The PR-1 tail-drop policer as a [`DropPolicy`]: static per-flow caps
@@ -269,6 +301,265 @@ pub(crate) fn longest_evictable(qm: &mut QueueManager) -> Option<FlowId> {
         .map(FlowId::new)
         .filter(|&f| evictable(qm, f))
         .max_by_key(|&f| qm.queue_len_bytes(f))
+}
+
+/// The evictable head packet with the largest required-processing-work.
+///
+/// Deterministic tie-break: larger head bytes first, then the *lowest*
+/// flow id. Returns `None` when nothing is evictable (empty engine, or
+/// all occupancy is mid-SAR/mid-service) — callers must treat that as a
+/// refusal, never a panic.
+pub(crate) fn costliest_evictable(qm: &QueueManager) -> Option<FlowId> {
+    let mut best: Option<(u32, u64, FlowId)> = None;
+    for f in 0..qm.config().num_flows() {
+        let flow = FlowId::new(f);
+        if !evictable(qm, flow) {
+            continue;
+        }
+        let work = qm.head_work(flow).unwrap_or(0);
+        let bytes = qm.head_packet_bytes(flow).unwrap_or(0);
+        if best.is_none_or(|(w, b, _)| (work, bytes) > (w, b)) {
+            best = Some((work, bytes, flow));
+        }
+    }
+    best.map(|(_, _, flow)| flow)
+}
+
+/// The evictable head packet with the largest work *density*
+/// (work per payload byte), the victim choice of the size-aware
+/// balancing policies.
+///
+/// Density is compared as the cross product `work_a × bytes_b` vs
+/// `work_b × bytes_a` — exact integer arithmetic, no floats.
+/// Deterministic tie-break: larger head bytes first, then the lowest
+/// flow id. `None` when nothing is evictable.
+pub(crate) fn densest_evictable(qm: &QueueManager) -> Option<FlowId> {
+    let mut best: Option<(u64, u64, FlowId)> = None;
+    for f in 0..qm.config().num_flows() {
+        let flow = FlowId::new(f);
+        if !evictable(qm, flow) {
+            continue;
+        }
+        let work = u64::from(qm.head_work(flow).unwrap_or(0));
+        let bytes = qm.head_packet_bytes(flow).unwrap_or(1).max(1);
+        let denser = match best {
+            None => true,
+            Some((w, b, _)) => {
+                let lhs = work * b;
+                let rhs = w * bytes;
+                lhs > rhs || (lhs == rhs && bytes > b)
+            }
+        };
+        if denser {
+            best = Some((work, bytes, flow));
+        }
+    }
+    best.map(|(_, _, flow)| flow)
+}
+
+/// Push-Out Largest Work: when the shared buffer cannot hold the
+/// arrival, push out the queued head packet with the *largest*
+/// required-processing-work — but only while that victim costs strictly
+/// more work than the arrival itself.
+///
+/// This is the push-out discipline of Kogan–López-Ortiz–Nikolenko's
+/// heterogeneous-processing model: under overload the buffer should
+/// hold the *cheapest* packets, because goodput is limited by
+/// processing effort, not slots. If the arrival is itself the most
+/// expensive packet in sight, it is the one dropped (ties keep the
+/// incumbent, avoiding churn). On zero-work traffic nothing ever costs
+/// more than anything else, so the policy deterministically degrades to
+/// greedy admission with no push-out — tail-drop without static caps.
+#[derive(Debug, Clone, Default)]
+pub struct PushOutLargestWork {
+    reserve_segments: u32,
+    stats: PolicyStats,
+}
+
+impl PushOutLargestWork {
+    /// Creates the policy, keeping `reserve_segments` segments free
+    /// (same role as the [`LongestQueueDrop`] reserve).
+    pub fn new(reserve_segments: u32) -> Self {
+        PushOutLargestWork {
+            reserve_segments,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Admission/eviction statistics.
+    pub const fn stats(&self) -> &PolicyStats {
+        &self.stats
+    }
+}
+
+impl DropPolicy for PushOutLargestWork {
+    fn name(&self) -> &str {
+        "po-work"
+    }
+
+    fn offer(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal> {
+        self.offer_work(qm, flow, packet, 0)
+    }
+
+    fn offer_work(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+        work: u32,
+    ) -> Result<Admission, Refusal> {
+        let needed = packet.len().div_ceil(qm.config().segment_bytes() as usize) as u32;
+        if needed + self.reserve_segments > qm.config().num_segments() {
+            self.stats.dropped += 1;
+            return Err(Refusal::from(DropReason::GlobalReserve));
+        }
+        let mut admission = Admission::default();
+        while qm.free_segments() < needed + self.reserve_segments {
+            let Some(victim) = costliest_evictable(qm) else {
+                self.stats.dropped += 1;
+                return Err(Refusal {
+                    reason: DropReason::GlobalReserve,
+                    evicted: admission.evicted,
+                });
+            };
+            // Only a strictly more expensive incumbent pays; otherwise
+            // the arrival is the costliest packet and is refused itself.
+            if qm.head_work(victim).unwrap_or(0) <= work {
+                self.stats.dropped += 1;
+                return Err(Refusal {
+                    reason: DropReason::GlobalReserve,
+                    evicted: admission.evicted,
+                });
+            }
+            let (_segs, bytes) = qm
+                .delete_packet(victim)
+                .expect("victim has an evictable head packet");
+            self.stats.evicted_packets += 1;
+            self.stats.evicted_bytes += bytes as u64;
+            admission.evicted.push((victim, bytes));
+        }
+        match qm.enqueue_packet_with_work(flow, packet, work) {
+            Ok(()) => {
+                self.stats.admitted += 1;
+                Ok(admission)
+            }
+            Err(e) => {
+                self.stats.dropped += 1;
+                Err(Refusal {
+                    reason: DropReason::Engine(e),
+                    evicted: admission.evicted,
+                })
+            }
+        }
+    }
+}
+
+/// Work/size balancing push-out: the victim is the evictable head with
+/// the highest work *density* (work per byte), evicted only while it is
+/// strictly denser than the arrival.
+///
+/// Where [`PushOutLargestWork`] optimises pure processing effort,
+/// this policy balances the two resources Kogan et al.'s model couples:
+/// buffer space (bytes) and processing capacity (work). A small
+/// expensive packet is a worse citizen than a large cheap one; density
+/// orders both out first. On zero-work traffic every density is zero
+/// and the policy deterministically degrades to greedy admission, same
+/// as [`PushOutLargestWork`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkSizeBalance {
+    reserve_segments: u32,
+    stats: PolicyStats,
+}
+
+impl WorkSizeBalance {
+    /// Creates the policy, keeping `reserve_segments` segments free.
+    pub fn new(reserve_segments: u32) -> Self {
+        WorkSizeBalance {
+            reserve_segments,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Admission/eviction statistics.
+    pub const fn stats(&self) -> &PolicyStats {
+        &self.stats
+    }
+}
+
+impl DropPolicy for WorkSizeBalance {
+    fn name(&self) -> &str {
+        "work-balance"
+    }
+
+    fn offer(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal> {
+        self.offer_work(qm, flow, packet, 0)
+    }
+
+    fn offer_work(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+        work: u32,
+    ) -> Result<Admission, Refusal> {
+        let needed = packet.len().div_ceil(qm.config().segment_bytes() as usize) as u32;
+        if needed + self.reserve_segments > qm.config().num_segments() {
+            self.stats.dropped += 1;
+            return Err(Refusal::from(DropReason::GlobalReserve));
+        }
+        let arrival_work = u64::from(work);
+        let arrival_bytes = (packet.len() as u64).max(1);
+        let mut admission = Admission::default();
+        while qm.free_segments() < needed + self.reserve_segments {
+            let Some(victim) = densest_evictable(qm) else {
+                self.stats.dropped += 1;
+                return Err(Refusal {
+                    reason: DropReason::GlobalReserve,
+                    evicted: admission.evicted,
+                });
+            };
+            let v_work = u64::from(qm.head_work(victim).unwrap_or(0));
+            let v_bytes = qm.head_packet_bytes(victim).unwrap_or(1).max(1);
+            // Evict only a strictly denser incumbent (cross-multiplied,
+            // exact): ties keep the incumbent.
+            if v_work * arrival_bytes <= arrival_work * v_bytes {
+                self.stats.dropped += 1;
+                return Err(Refusal {
+                    reason: DropReason::GlobalReserve,
+                    evicted: admission.evicted,
+                });
+            }
+            let (_segs, bytes) = qm
+                .delete_packet(victim)
+                .expect("victim has an evictable head packet");
+            self.stats.evicted_packets += 1;
+            self.stats.evicted_bytes += bytes as u64;
+            admission.evicted.push((victim, bytes));
+        }
+        match qm.enqueue_packet_with_work(flow, packet, work) {
+            Ok(()) => {
+                self.stats.admitted += 1;
+                Ok(admission)
+            }
+            Err(e) => {
+                self.stats.dropped += 1;
+                Err(Refusal {
+                    reason: DropReason::Engine(e),
+                    evicted: admission.evicted,
+                })
+            }
+        }
+    }
 }
 
 /// Choudhury–Hahne dynamic thresholds: a flow may hold at most
@@ -553,5 +844,149 @@ mod tests {
     #[should_panic(expected = "alpha must be positive")]
     fn zero_alpha_panics() {
         let _ = DynamicThreshold::new(0.0);
+    }
+
+    // --- work-aware policies and selector edge cases -------------------
+
+    #[test]
+    fn selectors_return_none_on_empty_and_all_mid_sar_buffers() {
+        // No occupancy at all, then occupancy that is exclusively
+        // mid-SAR open packets: every selector must decline — never
+        // panic, never pick an unevictable victim.
+        let mut qm = engine(4);
+        assert_eq!(longest_evictable(&mut qm), None);
+        assert_eq!(costliest_evictable(&qm), None);
+        assert_eq!(densest_evictable(&qm), None);
+        open_two_segments(&mut qm, FlowId::new(0));
+        open_two_segments(&mut qm, FlowId::new(1));
+        assert_eq!(qm.free_segments(), 0);
+        assert_eq!(longest_evictable(&mut qm), None);
+        assert_eq!(costliest_evictable(&qm), None);
+        assert_eq!(densest_evictable(&qm), None);
+        // And the policies turn that None into a clean refusal.
+        let mut po = PushOutLargestWork::new(0);
+        let refusal = po
+            .offer_work(&mut qm, FlowId::new(2), &[2u8; 64], 0)
+            .unwrap_err();
+        assert_eq!(refusal.reason, DropReason::GlobalReserve);
+        assert!(refusal.evicted.is_empty());
+        let mut wb = WorkSizeBalance::new(0);
+        let refusal = wb
+            .offer_work(&mut qm, FlowId::new(2), &[2u8; 64], 7)
+            .unwrap_err();
+        assert_eq!(refusal.reason, DropReason::GlobalReserve);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn zero_work_traffic_degrades_to_deterministic_greedy() {
+        // On all-zero-work traffic no incumbent is ever strictly more
+        // expensive than an arrival, so both work-aware policies must
+        // become no-evict greedy admission: buffer fills, then every
+        // arrival is refused, nothing is pushed out.
+        for aware in [true, false] {
+            let mut qm = engine(4);
+            let mut po = PushOutLargestWork::new(0);
+            let mut wb = WorkSizeBalance::new(0);
+            let policy: &mut dyn DropPolicy = if aware { &mut po } else { &mut wb };
+            for k in 0..4u8 {
+                policy
+                    .offer_work(&mut qm, FlowId::new(0), &[k; 64], 0)
+                    .unwrap();
+            }
+            let refusal = policy
+                .offer_work(&mut qm, FlowId::new(1), &[9u8; 64], 0)
+                .unwrap_err();
+            assert_eq!(refusal.reason, DropReason::GlobalReserve);
+            assert!(refusal.evicted.is_empty(), "zero-work never evicts");
+            assert_eq!(qm.queue_len_packets(FlowId::new(0)), 4, "incumbents kept");
+            qm.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn po_work_evicts_the_costliest_head_first() {
+        let mut qm = engine(4);
+        let mut po = PushOutLargestWork::new(0);
+        po.offer_work(&mut qm, FlowId::new(0), &[0u8; 64], 3)
+            .unwrap();
+        po.offer_work(&mut qm, FlowId::new(1), &[1u8; 64], 9)
+            .unwrap();
+        po.offer_work(&mut qm, FlowId::new(2), &[2u8; 64], 5)
+            .unwrap();
+        po.offer_work(&mut qm, FlowId::new(3), &[3u8; 64], 1)
+            .unwrap();
+        // Work-2 arrival: the work-9 head pays; the rest cost less than
+        // 9 so exactly one eviction happens.
+        let adm = po
+            .offer_work(&mut qm, FlowId::new(0), &[4u8; 64], 2)
+            .unwrap();
+        assert_eq!(adm.evicted, vec![(FlowId::new(1), 64)]);
+        // Work-8 arrival: costliest remaining is 5 < 8 — refused, and
+        // nothing is evicted on the way out.
+        let refusal = po
+            .offer_work(&mut qm, FlowId::new(1), &[5u8; 64], 8)
+            .unwrap_err();
+        assert!(refusal.evicted.is_empty());
+        assert_eq!(po.stats().evicted_packets, 1);
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn work_balance_weighs_work_against_size() {
+        // Same work, different sizes: the smaller packet is denser and
+        // pays first (1 work / 64 bytes > 1 work / 128 bytes).
+        let cfg = crate::config::QmConfig::builder()
+            .num_flows(4)
+            .num_segments(3)
+            .segment_bytes(64)
+            .build()
+            .unwrap();
+        let mut qm = QueueManager::new(cfg);
+        let mut wb = WorkSizeBalance::new(0);
+        wb.offer_work(&mut qm, FlowId::new(0), &[0u8; 128], 1)
+            .unwrap();
+        wb.offer_work(&mut qm, FlowId::new(1), &[1u8; 64], 1)
+            .unwrap();
+        let adm = wb
+            .offer_work(&mut qm, FlowId::new(2), &[2u8; 64], 0)
+            .unwrap();
+        assert_eq!(adm.evicted, vec![(FlowId::new(1), 64)]);
+        assert_eq!(
+            qm.queue_len_bytes(FlowId::new(0)),
+            128,
+            "cheaper density kept"
+        );
+        qm.verify().unwrap();
+    }
+
+    #[test]
+    fn work_policies_refuse_hopeless_arrivals_outright() {
+        let mut qm = engine(2);
+        let mut po = PushOutLargestWork::new(0);
+        let mut wb = WorkSizeBalance::new(0);
+        assert_eq!(
+            po.offer_work(&mut qm, FlowId::new(0), &[0u8; 200], 1),
+            Err(Refusal::from(DropReason::GlobalReserve))
+        );
+        assert_eq!(
+            wb.offer_work(&mut qm, FlowId::new(0), &[0u8; 200], 1),
+            Err(Refusal::from(DropReason::GlobalReserve))
+        );
+    }
+
+    #[test]
+    fn default_offer_work_stamps_work_through_any_policy() {
+        // A work-oblivious policy admits via its own rule but the work
+        // must still land on the packet for the service model to charge.
+        let mut qm = engine(8);
+        let mut lqd = LongestQueueDrop::new(0);
+        lqd.offer_work(&mut qm, FlowId::new(0), &[0u8; 64], 6)
+            .unwrap();
+        assert_eq!(qm.head_work(FlowId::new(0)), Some(6));
+        let mut dt = DynamicThreshold::new(2.0);
+        dt.offer_work(&mut qm, FlowId::new(1), &[1u8; 64], 4)
+            .unwrap();
+        assert_eq!(qm.head_work(FlowId::new(1)), Some(4));
     }
 }

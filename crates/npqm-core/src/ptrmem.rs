@@ -54,6 +54,12 @@ pub struct PktRecord {
     /// invariant checker relies on this to detect torn packets spliced
     /// behind an open tail.
     pub eop: bool,
+    /// Required processing work, in abstract effort units, on top of the
+    /// byte-proportional transmission cost (the heterogeneous-processing
+    /// dimension of Kogan et al.). Zero — the default stamped by every
+    /// legacy enqueue path — means the packet costs exactly its bytes,
+    /// i.e. today's behaviour.
+    pub work: u32,
 }
 
 impl Default for PktRecord {
@@ -66,6 +72,7 @@ impl Default for PktRecord {
             bytes: 0,
             started: false,
             eop: false,
+            work: 0,
         }
     }
 }

@@ -1,0 +1,365 @@
+//! Adversarial arena traces crafted against specific drop policies.
+//!
+//! Competitive analysis is only meaningful against *bad* inputs: the
+//! competitive ratio is a worst case over arrival sequences, so
+//! measuring it under friendly Zipf traffic alone systematically
+//! flatters every policy. This module generates slotted-time
+//! [`ArenaTrace`]s for the arena of `npqm_core::arena`, one baseline
+//! and one adversary per shipped policy, each exploiting the documented
+//! weakness of its target:
+//!
+//! * [`zipf_unit`] — the friendly baseline: Zipf-popular ports at a
+//!   configurable overload factor, unit (one-segment) packets;
+//! * [`anti_lqd`] — hog-then-trickle: fill the buffer from one port,
+//!   then stream single packets to the other ports. Each trickle
+//!   arrival is served the same slot it arrives, yet LQD pushes a
+//!   queued hog packet out to admit it — pure waste an offline optimum
+//!   (which reserves one free segment up front) never pays. Drives LQD
+//!   toward its ~4/3 lower bound;
+//! * [`anti_ch`] — threshold-lag bursts: back-to-back alternating-port
+//!   bursts timed so Choudhury–Hahne's `alpha × free` threshold is at
+//!   its tightest exactly when the next burst lands, refusing packets
+//!   a clairvoyant split would keep;
+//! * [`anti_taildrop`] — static-split starvation: the whole load on one
+//!   port at a time, stranding every other port's share of the
+//!   statically partitioned buffer;
+//! * [`work_zipf`] / [`anti_work_oblivious`] — work-server traces: the
+//!   baseline mixes cheap and expensive packets randomly, the
+//!   adversary leads with maximum-work packets and follows with cheap
+//!   ones, so any policy that ignores the work dimension strands the
+//!   server on the heavies it admitted first.
+//!
+//! All generators are seeded and fully deterministic; regression tests
+//! gate that each adversary hurts its target measurably more than the
+//! Zipf baseline does (the adversaries must not be decorative).
+
+use crate::flows::FlowMix;
+use npqm_core::arena::{ArenaPacket, ArenaTrace};
+use npqm_core::limits::{BufferManager, FlowLimits};
+use npqm_core::FlowId;
+use npqm_sim::rng::Xoshiro256pp;
+
+/// Unit-packet payload size shared by all shared-memory-switch traces
+/// (one 64-byte segment — the Matsakis setup, and the paper's segment).
+pub const UNIT_BYTES: u32 = 64;
+
+/// Friendly baseline: `slots` slots of Zipf(`s`)-distributed unit
+/// arrivals at `offered_per_slot` packets per slot over `ports` ports.
+pub fn zipf_unit(ports: u32, offered_per_slot: u32, slots: u64, s: f64, seed: u64) -> ArenaTrace {
+    let mix = FlowMix::zipf(ports, s);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x2F1A_57E5);
+    let mut packets = Vec::new();
+    for at in 0..slots {
+        for _ in 0..offered_per_slot {
+            packets.push(ArenaPacket {
+                at,
+                flow: mix.sample(&mut rng),
+                bytes: UNIT_BYTES,
+                work: 0,
+            });
+        }
+    }
+    ArenaTrace::new(packets)
+}
+
+/// Anti-LQD: slot 0 fills the whole `buffer_segments`-deep buffer from
+/// the hog port; for the next `trickle_slots` slots every *other* port
+/// is oversubscribed with two unit packets per slot — then all
+/// arrivals stop and the buffer drains.
+///
+/// The oversubscription keeps the shared buffer full, so every excess
+/// arrival forces LQD to evict from the longest queue — the hog —
+/// grinding away backlog that the hog port would otherwise have drained
+/// at one packet per slot long after the burst ends. The offline
+/// optimum declines most of the hog burst up front, gives the trickle
+/// ports just enough buffer to stay busy, and keeps the hog port busy
+/// for the whole horizon: the gap is precisely the hog's lost service
+/// time, approaching LQD's known constant-factor lower bound as the
+/// trickle phase is tuned to the grind-down time
+/// `buffer / ports`. `seed` perturbs the order of the trickle ports
+/// within each slot (pattern, not damage).
+///
+/// # Panics
+///
+/// Panics if `ports < 2`.
+pub fn anti_lqd(ports: u32, buffer_segments: u32, trickle_slots: u64, seed: u64) -> ArenaTrace {
+    assert!(ports >= 2, "the construction needs a hog and a victim");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x0A11_71D5);
+    let mut packets: Vec<ArenaPacket> = (0..buffer_segments)
+        .map(|_| ArenaPacket {
+            at: 0,
+            flow: FlowId::new(0),
+            bytes: UNIT_BYTES,
+            work: 0,
+        })
+        .collect();
+    let mut others: Vec<u32> = (1..ports).chain(1..ports).collect();
+    for at in 1..=trickle_slots {
+        rng.shuffle(&mut others);
+        for &port in &others {
+            packets.push(ArenaPacket {
+                at,
+                flow: FlowId::new(port),
+                bytes: UNIT_BYTES,
+                work: 0,
+            });
+        }
+    }
+    ArenaTrace::new(packets)
+}
+
+/// Anti-Choudhury–Hahne: `rounds` back-to-back bursts of
+/// `buffer_segments` unit packets, alternating between two ports with
+/// no drain gap.
+///
+/// When burst `k+1` lands, the buffer still holds most of burst `k`,
+/// so C-H's `alpha × free` threshold is near its minimum and the fresh
+/// port — which a clairvoyant split would give half the buffer — is
+/// refused after a handful of packets. The same lag also caps a lone
+/// port at `alpha/(1+alpha)` of the buffer. `seed` varies which port
+/// starts.
+///
+/// # Panics
+///
+/// Panics if `ports < 2`.
+pub fn anti_ch(ports: u32, buffer_segments: u32, rounds: u32, seed: u64) -> ArenaTrace {
+    assert!(ports >= 2, "the construction alternates two ports");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xC40A_D7E5);
+    let first = (rng.next_below(2) as u32) % 2;
+    let mut packets = Vec::new();
+    for round in 0..rounds {
+        let port = (first + round) % 2;
+        let at = u64::from(round); // back-to-back: no drain gap
+        for _ in 0..buffer_segments {
+            packets.push(ArenaPacket {
+                at,
+                flow: FlowId::new(port),
+                bytes: UNIT_BYTES,
+                work: 0,
+            });
+        }
+    }
+    ArenaTrace::new(packets)
+}
+
+/// Anti-tail-drop: the entire load concentrated on one port per phase,
+/// rotating through the ports.
+///
+/// A static split hands each port `buffer/ports` segments, so the
+/// active port drops everything beyond its sliver while the other
+/// ports' shares sit empty. Share-everything policies (LQD, dynamic
+/// thresholds) ride out each phase with the whole buffer. `seed` varies
+/// the rotation order.
+pub fn anti_taildrop(ports: u32, buffer_segments: u32, phases: u32, seed: u64) -> ArenaTrace {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x7A11_D409);
+    let mut order: Vec<u32> = (0..ports).collect();
+    rng.shuffle(&mut order);
+    let burst = buffer_segments * 2; // well past any static share
+    let phase_len = u64::from(buffer_segments) + 2; // time to drain
+    let mut packets = Vec::new();
+    for phase in 0..phases {
+        let port = order[(phase % ports) as usize];
+        let at = u64::from(phase) * phase_len;
+        for _ in 0..burst {
+            packets.push(ArenaPacket {
+                at,
+                flow: FlowId::new(port),
+                bytes: UNIT_BYTES,
+                work: 0,
+            });
+        }
+    }
+    ArenaTrace::new(packets)
+}
+
+/// Work-server baseline: `slots` slots of Zipf-port unit arrivals whose
+/// work is drawn uniformly from `0..=max_work`.
+pub fn work_zipf(
+    ports: u32,
+    offered_per_slot: u32,
+    slots: u64,
+    max_work: u32,
+    seed: u64,
+) -> ArenaTrace {
+    let mix = FlowMix::zipf(ports, 1.2);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x3_0B57);
+    let mut packets = Vec::new();
+    for at in 0..slots {
+        for _ in 0..offered_per_slot {
+            packets.push(ArenaPacket {
+                at,
+                flow: mix.sample(&mut rng),
+                bytes: UNIT_BYTES,
+                work: rng.next_below(u64::from(max_work) + 1) as u32,
+            });
+        }
+    }
+    ArenaTrace::new(packets)
+}
+
+/// Anti-work-oblivious: per round, a buffer-filling burst of
+/// maximum-work packets immediately followed by the same volume of
+/// zero-work packets on other ports.
+///
+/// A policy that ignores the work dimension admits the heavies first
+/// and strands the server on them for `heavy_work` slots each, dropping
+/// the cheap packets that would have drained in one slot apiece. The
+/// work-aware push-out policies displace the heavies and keep goodput
+/// near the offline bound. `seed` varies the port rotation.
+///
+/// # Panics
+///
+/// Panics if `ports < 2`.
+pub fn anti_work_oblivious(
+    ports: u32,
+    buffer_segments: u32,
+    rounds: u32,
+    heavy_work: u32,
+    seed: u64,
+) -> ArenaTrace {
+    assert!(ports >= 2, "the construction needs heavy and cheap ports");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xB1_0C4ED);
+    // A round must outlast the drain of one buffer of cheap packets.
+    let round_len = u64::from(buffer_segments) * 2 + 4;
+    let mut packets = Vec::new();
+    for round in 0..rounds {
+        let heavy_port = (rng.next_below(u64::from(ports)) as u32) % ports;
+        let cheap_port = (heavy_port + 1) % ports;
+        let at = u64::from(round) * round_len;
+        for _ in 0..buffer_segments {
+            packets.push(ArenaPacket {
+                at,
+                flow: FlowId::new(heavy_port),
+                bytes: UNIT_BYTES,
+                work: heavy_work,
+            });
+        }
+        for k in 0..buffer_segments {
+            packets.push(ArenaPacket {
+                at: at + 1 + u64::from(k),
+                flow: FlowId::new(cheap_port),
+                bytes: UNIT_BYTES,
+                work: 0,
+            });
+        }
+    }
+    ArenaTrace::new(packets)
+}
+
+/// An unbounded-per-flow tail-drop [`BufferManager`]: refusal comes only
+/// from the shared buffer running out — the no-partitioning strawman the
+/// competitive-analysis literature calls *greedy*.
+pub fn greedy_taildrop() -> BufferManager {
+    BufferManager::new(
+        FlowLimits {
+            max_bytes: u64::MAX,
+            max_packets: u32::MAX,
+        },
+        0,
+    )
+}
+
+/// A static-split tail-drop [`BufferManager`]: each of `ports` ports
+/// owns a fixed `buffer_segments / ports` sliver of the buffer,
+/// mirroring the statically partitioned queue memory the paper's MMS
+/// replaces.
+pub fn static_split(ports: u32, buffer_segments: u32) -> BufferManager {
+    BufferManager::new(
+        FlowLimits {
+            max_bytes: u64::from(buffer_segments / ports) * u64::from(UNIT_BYTES),
+            max_packets: buffer_segments / ports,
+        },
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npqm_core::arena::{offline_bound, run_online, ArenaConfig};
+    use npqm_core::policy::{DropPolicy, PushOutLargestWork};
+    use npqm_core::{DynamicThreshold, LongestQueueDrop};
+
+    fn ratio(cfg: &ArenaConfig, trace: &ArenaTrace, policy: &mut dyn DropPolicy) -> f64 {
+        let rep = run_online(cfg, trace, policy);
+        assert!(rep.conserved(), "{} leaks packets", rep.policy);
+        let bound = offline_bound(cfg, trace);
+        assert!(
+            bound.bytes >= rep.goodput_bytes,
+            "offline bound below online goodput for {}",
+            rep.policy
+        );
+        rep.ratio(&bound)
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(zipf_unit(8, 12, 40, 1.2, 7), zipf_unit(8, 12, 40, 1.2, 7));
+        assert_eq!(anti_lqd(8, 32, 40, 7), anti_lqd(8, 32, 40, 7));
+        assert_eq!(anti_ch(8, 32, 6, 7), anti_ch(8, 32, 6, 7));
+        assert_eq!(anti_taildrop(8, 32, 6, 7), anti_taildrop(8, 32, 6, 7));
+        assert_eq!(
+            anti_work_oblivious(8, 16, 4, 8, 7),
+            anti_work_oblivious(8, 16, 4, 8, 7)
+        );
+        assert_ne!(zipf_unit(8, 12, 40, 1.2, 7), zipf_unit(8, 12, 40, 1.2, 8));
+    }
+
+    #[test]
+    fn anti_lqd_hurts_lqd_more_than_zipf() {
+        let cfg = ArenaConfig::shared_memory(8, 32);
+        let zipf = zipf_unit(8, 12, 40, 1.2, 11);
+        let adv = anti_lqd(8, 32, 4, 11);
+        let r_zipf = ratio(&cfg, &zipf, &mut LongestQueueDrop::new(0));
+        let r_adv = ratio(&cfg, &adv, &mut LongestQueueDrop::new(0));
+        assert!(
+            r_adv > r_zipf + 0.05,
+            "adversary {r_adv:.3} must beat zipf {r_zipf:.3} by a clear gap"
+        );
+    }
+
+    #[test]
+    fn anti_ch_hurts_dynamic_threshold_more_than_zipf() {
+        let cfg = ArenaConfig::shared_memory(8, 32);
+        let zipf = zipf_unit(8, 12, 40, 1.2, 13);
+        let adv = anti_ch(8, 32, 8, 13);
+        let r_zipf = ratio(&cfg, &zipf, &mut DynamicThreshold::new(2.0));
+        let r_adv = ratio(&cfg, &adv, &mut DynamicThreshold::new(2.0));
+        assert!(
+            r_adv > r_zipf + 0.05,
+            "adversary {r_adv:.3} must beat zipf {r_zipf:.3} by a clear gap"
+        );
+    }
+
+    #[test]
+    fn anti_taildrop_hurts_static_split_more_than_zipf() {
+        let cfg = ArenaConfig::shared_memory(8, 32);
+        let zipf = zipf_unit(8, 12, 40, 1.2, 17);
+        let adv = anti_taildrop(8, 32, 8, 17);
+        let r_zipf = ratio(&cfg, &zipf, &mut static_split(8, 32));
+        let r_adv = ratio(&cfg, &adv, &mut static_split(8, 32));
+        assert!(
+            r_adv > r_zipf + 0.05,
+            "adversary {r_adv:.3} must beat zipf {r_zipf:.3} by a clear gap"
+        );
+    }
+
+    #[test]
+    fn anti_work_oblivious_hurts_greedy_more_than_work_zipf() {
+        let cfg = ArenaConfig::work_server(8, 16, UNIT_BYTES);
+        let zipf = work_zipf(8, 3, 40, 8, 19);
+        let adv = anti_work_oblivious(8, 16, 4, 8, 19);
+        let r_zipf = ratio(&cfg, &zipf, &mut greedy_taildrop());
+        let r_adv = ratio(&cfg, &adv, &mut greedy_taildrop());
+        assert!(
+            r_adv > r_zipf + 0.05,
+            "adversary {r_adv:.3} must beat zipf {r_zipf:.3} by a clear gap"
+        );
+        // And the work-aware policy shrugs the same adversary off.
+        let r_aware = ratio(&cfg, &adv, &mut PushOutLargestWork::new(0));
+        assert!(
+            r_adv > r_aware + 0.05,
+            "oblivious {r_adv:.3} must trail work-aware {r_aware:.3}"
+        );
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`arrival`] — arrival processes (CBR, Poisson, bursty on-off);
 //! * [`flows`] — flow-population models (uniform, Zipf) and a flow table;
 //! * [`trace`] — recordable/replayable workload traces;
+//! * [`adversary`] — seeded adversarial arena traces crafted against
+//!   each shipped drop policy, for the competitive-analysis arena of
+//!   `npqm_core::arena` (the `table9` experiments);
 //! * [`pipeline`] — the closed-loop simulation: traffic through a
 //!   pluggable drop policy into [`npqm_core::QueueManager`], drained by a
 //!   scheduler at a configurable egress rate (the drop-policy experiments
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adversary;
 pub mod apps;
 pub mod arrival;
 pub mod flows;

@@ -1,0 +1,105 @@
+//! The competitive-analysis arena in action: how far from the offline
+//! optimum can an adversary push each drop policy?
+//!
+//! Run with: `cargo run --example competitive_arena`
+//!
+//! Three steps, mirroring how the `table9` experiment is built:
+//!
+//! 1. a tiny hand-sized trace where the *exact* offline optimum is
+//!    computed by branch-and-bound — even clairvoyance cannot deliver
+//!    all offered packets, so the certified bound is strictly below
+//!    the offered bytes and the measured ratios are meaningful;
+//! 2. Longest-Queue-Drop on the trace family constructed against it
+//!    (`anti_lqd`), measured as goodput versus the certified offline
+//!    bound — empirically inside the 1.5 the theorem guarantees;
+//! 3. the work-server model, where admission that ignores per-packet
+//!    *work* strands the server on expensive packets a work-aware
+//!    policy would have pushed out.
+
+use npqm::core::arena::{offline_bound, run_online, ArenaConfig, ArenaPacket, ArenaTrace};
+use npqm::core::policy::{DropPolicy, PushOutLargestWork};
+use npqm::core::{FlowId, LongestQueueDrop};
+use npqm::traffic::adversary::{anti_lqd, anti_work_oblivious, greedy_taildrop, UNIT_BYTES};
+
+fn show(cfg: &ArenaConfig, trace: &ArenaTrace, policy: &mut dyn DropPolicy) {
+    let rep = run_online(cfg, trace, policy);
+    assert!(rep.conserved());
+    let bound = offline_bound(cfg, trace);
+    println!(
+        "  {:<12} goodput {:>5} B  offline bound {:>5} B  ratio <= {:.3}{}",
+        rep.policy,
+        rep.goodput_bytes,
+        bound.bytes,
+        rep.ratio(&bound),
+        if bound.exact_bytes.is_some() {
+            "  (bound is the exact OPT)"
+        } else {
+            ""
+        },
+    );
+}
+
+fn main() {
+    // 1. A 2-port switch with a 2-segment buffer: port 0 floods at
+    //    slot 0, port 1 bursts at slot 1. 256 bytes are offered but the
+    //    branch-and-bound proves no schedule — even a clairvoyant one —
+    //    delivers more than 192: the buffer admits at most one port-1
+    //    packet once the flood is in. Both online policies happen to
+    //    reach the optimum here; the value of the exact bound is that
+    //    a ratio of 1.000 *proves* it.
+    println!("1. exact offline optimum on a hand-sized trace (2 ports, 2-segment buffer):");
+    let tiny = ArenaTrace::new(vec![
+        ArenaPacket {
+            at: 0,
+            flow: FlowId::new(0),
+            bytes: UNIT_BYTES,
+            work: 0,
+        },
+        ArenaPacket {
+            at: 0,
+            flow: FlowId::new(0),
+            bytes: UNIT_BYTES,
+            work: 0,
+        },
+        ArenaPacket {
+            at: 1,
+            flow: FlowId::new(1),
+            bytes: UNIT_BYTES,
+            work: 0,
+        },
+        ArenaPacket {
+            at: 1,
+            flow: FlowId::new(1),
+            bytes: UNIT_BYTES,
+            work: 0,
+        },
+    ]);
+    let tiny_cfg = ArenaConfig::shared_memory(2, 2);
+    println!(
+        "  offered: {} B, certified optimum: {} B",
+        tiny.offered_bytes(),
+        offline_bound(&tiny_cfg, &tiny).bytes,
+    );
+    show(&tiny_cfg, &tiny, &mut greedy_taildrop());
+    show(&tiny_cfg, &tiny, &mut LongestQueueDrop::new(0));
+
+    // 2. LQD against its own adversary: a buffer-filling hog followed by
+    //    oversubscribed trickles that grind the hog's backlog away.
+    println!();
+    println!("2. LQD vs its adversary (8 ports, 32-segment shared buffer):");
+    let cfg = ArenaConfig::shared_memory(8, 32);
+    let adv = anti_lqd(8, 32, 4, 11);
+    show(&cfg, &adv, &mut greedy_taildrop());
+    show(&cfg, &adv, &mut LongestQueueDrop::new(0));
+    println!("  (the theorem says LQD's ratio can never exceed 1.5 on this model)");
+
+    // 3. The work dimension: heavies arrive first, cheap packets after.
+    //    Work-oblivious admission strands the server; push-out by work
+    //    recovers most of the optimum.
+    println!();
+    println!("3. work-server model (per-packet work, one round-robin server):");
+    let wcfg = ArenaConfig::work_server(8, 16, UNIT_BYTES);
+    let wadv = anti_work_oblivious(8, 16, 4, 8, 19);
+    show(&wcfg, &wadv, &mut greedy_taildrop());
+    show(&wcfg, &wadv, &mut PushOutLargestWork::new(0));
+}
