@@ -8,10 +8,11 @@
 #
 #   ./ci.sh         # full pipeline: fmt, clippy, docs, tier-1, tables,
 #                   # golden checks, parallel-determinism diff, every
-#                   # example, bench smoke, bench artifacts
-#   ./ci.sh quick   # tier-1 (build + test) plus the table6 and table9
-#                   # golden checks, so even the fast path catches
-#                   # torn-frame, conservation and competitive-ratio
+#                   # example, bench smoke, bench artifacts, bench gate
+#   ./ci.sh quick   # tier-1 (build + test) plus the table6, table9 and
+#                   # table10 golden checks, so even the fast path
+#                   # catches torn-frame, conservation,
+#                   # competitive-ratio and streaming-service
 #                   # regressions
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -33,6 +34,8 @@ golden_quick() {
     cargo run --release -q -p npqm-bench --bin table6 -- --check
     echo "==> table9 --check (competitive-ratio gates: LQD <= 1.5, adversary gaps)"
     cargo run --release -q -p npqm-bench --bin table9 -- --check
+    echo "==> table10 --check (streaming-service gates: reconciliation, online digests)"
+    cargo run --release -q -p npqm-bench --bin table10 -- --check
 }
 
 golden_full() {
@@ -49,6 +52,9 @@ golden_full() {
     echo "==> table9 --check at NPQM_THREADS=1 (competitive-ratio gates, serial leg)"
     NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table9 -- \
         --check --report target/table9-det-threads1.json
+    echo "==> table10 --check at NPQM_THREADS=1 (streaming-service gates, serial leg)"
+    NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table10 -- \
+        --check --report target/table10-det-threads1.json
 }
 
 # The headline guarantee of the thread-parallel executor: for a fixed
@@ -66,7 +72,10 @@ parallel_determinism() {
     echo "==> parallel-determinism: table9 --check at NPQM_THREADS=4"
     NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table9 -- \
         --check --report target/table9-det-threads4.json
-    for t in table7 table8 table9; do
+    echo "==> parallel-determinism: table10 --check at NPQM_THREADS=4"
+    NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table10 -- \
+        --check --report target/table10-det-threads4.json
+    for t in table7 table8 table9 table10; do
         echo "==> parallel-determinism: diff ${t} threads=1 vs threads=4 reports"
         if ! diff -u "target/${t}-det-threads1.json" "target/${t}-det-threads4.json"; then
             echo "parallel-determinism FAILED: ${t} reports differ between 1 and 4 threads" >&2
@@ -80,11 +89,35 @@ parallel_determinism() {
 # hosted pipeline so the perf trajectory accumulates per commit. These
 # include the wall-clock measurements the determinism reports exclude.
 bench_artifacts() {
-    echo "==> bench artifacts (BENCH_table6/7/8/9.json)"
+    echo "==> bench artifacts (BENCH_table6/7/8/9/10.json)"
     cargo run --release -q -p npqm-bench --bin table6 -- --json BENCH_table6.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table7 -- --json BENCH_table7.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table8 -- --json BENCH_table8.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table9 -- --json BENCH_table9.json >/dev/null
+    cargo run --release -q -p npqm-bench --bin table10 -- --json BENCH_table10.json >/dev/null
+}
+
+# Perf-regression gate: the freshly regenerated artifacts must not be
+# >15% worse than the committed HEAD copies on any wall-clock or rate
+# metric (see bench_gate.rs for exactly which leaves are compared and
+# which are skipped as noise). Tables whose baseline predates HEAD are
+# skipped, so adding a table never bricks the gate. Timing gates get the
+# usual one-retry policy: regenerate the artifacts once before failing.
+bench_gate() {
+    echo "==> bench-gate: extracting committed baselines from HEAD"
+    mkdir -p target/bench-baseline
+    for t in table6 table7 table8 table9 table10; do
+        git show "HEAD:BENCH_${t}.json" >"target/bench-baseline/BENCH_${t}.json" 2>/dev/null ||
+            rm -f "target/bench-baseline/BENCH_${t}.json"
+    done
+    echo "==> bench-gate: fresh artifacts vs HEAD baselines"
+    if ! cargo run --release -q -p npqm-bench --bin bench_gate -- \
+        --baseline-dir target/bench-baseline --current-dir .; then
+        echo "==> bench-gate tripped; regenerating artifacts once (one-retry policy)"
+        bench_artifacts
+        cargo run --release -q -p npqm-bench --bin bench_gate -- \
+            --baseline-dir target/bench-baseline --current-dir .
+    fi
 }
 
 if [[ "${1:-}" == "quick" ]]; then
@@ -132,5 +165,7 @@ for src in crates/npqm-bench/benches/*.rs; do
 done
 
 bench_artifacts
+
+bench_gate
 
 echo "CI green."

@@ -14,6 +14,7 @@ struct Summary {
     table7: Vec<Table7Out>,
     table8: Vec<Table8Out>,
     table9: Vec<npqm_bench::competitive::Table9Row>,
+    table10: Table10Out,
     saturation_mpps: f64,
     saturation_gbps: f64,
 }
@@ -34,8 +35,35 @@ impl ToJson for Summary {
             ("table7", self.table7.to_json()),
             ("table8", self.table8.to_json()),
             ("table9", self.table9.to_json()),
+            ("table10", self.table10.to_json()),
             ("saturation_mpps", self.saturation_mpps.to_json()),
             ("saturation_gbps", self.saturation_gbps.to_json()),
+        ])
+    }
+}
+
+struct Table10Out {
+    epochs: usize,
+    offered_pkts: u64,
+    delivered_pkts: u64,
+    dropped_pkts: u64,
+    evicted_pkts: u64,
+    ring_full_events: u64,
+    segments_per_sec: f64,
+    final_digest: String,
+}
+
+impl ToJson for Table10Out {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("epochs", (self.epochs as u64).to_json()),
+            ("offered_pkts", self.offered_pkts.to_json()),
+            ("delivered_pkts", self.delivered_pkts.to_json()),
+            ("dropped_pkts", self.dropped_pkts.to_json()),
+            ("evicted_pkts", self.evicted_pkts.to_json()),
+            ("ring_full_events", self.ring_full_events.to_json()),
+            ("segments_per_sec", self.segments_per_sec.to_json()),
+            ("final_digest", self.final_digest.clone().to_json()),
         ])
     }
 }
@@ -215,6 +243,26 @@ fn main() {
     eprintln!("running Table 9 (competitive-analysis arena)...");
     let table9 = npqm_bench::competitive::run_table9();
 
+    eprintln!("running Table 10 (always-on streaming service)...");
+    let svc_cfg = npqm_traffic::service::ServiceConfig::table10();
+    let flows = svc_cfg.mix.flows() as usize;
+    let svc = npqm_traffic::run_service(
+        &svc_cfg,
+        npqm_traffic::scale::threads_from_env(),
+        |_| npqm_core::policy::DynamicThreshold::new(2.0),
+        move |_| npqm_core::sched::DeficitRoundRobin::new(vec![1518; flows]),
+    );
+    let table10 = Table10Out {
+        epochs: svc.epoch_digests.len(),
+        offered_pkts: svc.aggregate.offered_pkts,
+        delivered_pkts: svc.aggregate.delivered_pkts,
+        dropped_pkts: svc.aggregate.dropped_pkts,
+        evicted_pkts: svc.aggregate.evicted_pkts,
+        ring_full_events: svc.ring_full_events,
+        segments_per_sec: svc.segments_per_sec(),
+        final_digest: format!("{:#018x}", svc.final_digest),
+    };
+
     let summary = Summary {
         table1,
         table2,
@@ -226,6 +274,7 @@ fn main() {
         table7,
         table8,
         table9,
+        table10,
         saturation_mpps: mpps.get(),
         saturation_gbps: gbps.get(),
     };

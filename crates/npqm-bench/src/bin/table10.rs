@@ -1,0 +1,415 @@
+//! Table 10 (ours): the always-on streaming service in steady state —
+//! multi-second virtual runs through `npqm_traffic::service` with
+//! bounded ingress rings, epoch-windowed stats and online verification.
+//!
+//! The finite-trace tables answer "how fast is one run"; this table
+//! answers the service-shaped question: does the engine *sustain* — for
+//! seconds of virtual time under ~1.45× overload — a composite rate at
+//! least that of the table7 engine, with bounded memory (rings never
+//! grow unboundedly, the ledger drains), zero torn frames across every
+//! online snapshot, and online epoch digests that are byte-identical at
+//! any thread count and equal to a quiesced stop-the-world run's?
+//!
+//! `table10 --check` runs the machine-checkable gates instead of the
+//! pretty table:
+//!
+//! * packet conservation and exact window↔total reconciliation (every
+//!   windowed counter sums to the end-of-run aggregate);
+//! * zero torn frames and a passing invariant walk at *every* epoch
+//!   snapshot, on every shard;
+//! * bounded memory: every ledger drains (`residual_pkts == 0`) and
+//!   consumer-side reordering stays under the pacing-derived bound;
+//! * digest stability: the online epoch digests of this run are
+//!   byte-identical to a fresh run at the *other* thread count (1 ↔ 4),
+//!   and spot-checked epochs equal [`quiesced_digest`]'s stop-the-world
+//!   replay;
+//! * the steady-state rate gate (enforced on the `NPQM_THREADS=1` leg
+//!   with the usual one-retry policy): the service composite
+//!   (segments over the busiest shard's busy time) must sustain at
+//!   least the table7 single-engine composite rate.
+//!
+//! The worker-thread count comes from `NPQM_THREADS` (default 1);
+//! `--report <path>` writes the machine-readable document containing
+//! **only deterministic fields**, which the CI `parallel-determinism`
+//! stage diffs across thread counts. `--json <path>` (without
+//! `--check`) writes the full results including wall-clock measurements,
+//! the per-commit perf artifact.
+
+use npqm_bench::json::{service_report_deterministic_json, Json, ToJson};
+use npqm_core::policy::DynamicThreshold;
+use npqm_core::sched::DeficitRoundRobin;
+use npqm_traffic::scale::{run_shard_scale, threads_from_env, ShardScaleConfig};
+use npqm_traffic::service::{quiesced_digest, run_service, ServiceConfig, ServiceReport};
+
+/// The thread count the cross-check leg runs at (the gate is "1 ↔ 4
+/// byte-identical", from whichever side `NPQM_THREADS` puts us on).
+const CROSS_THREADS: usize = 4;
+
+/// Consumer-side reordering bound, in multiples of the aggregate ring
+/// capacity (`generators × ring_capacity`). Producer pacing bounds the
+/// spread; 4× leaves room for Poisson burstiness without ever allowing
+/// an O(run-length) buildup.
+const REORDER_BOUND_RINGS: u64 = 4;
+
+/// The steady-state rate gate: the service composite must sustain at
+/// least this multiple of the table7 single-engine composite rate.
+const RATE_VS_TABLE7: f64 = 1.0;
+
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("table10 check: {what}: ok");
+    } else {
+        eprintln!("table10 check FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+fn run(cfg: &ServiceConfig, threads: usize) -> ServiceReport {
+    let flows = cfg.mix.flows() as usize;
+    run_service(
+        cfg,
+        threads,
+        |_| DynamicThreshold::new(2.0),
+        move |_| DeficitRoundRobin::new(vec![1518; flows]),
+    )
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The deterministic gates: conservation, reconciliation, torn frames,
+/// online verification and memory bounds. Pure functions of the seed —
+/// hard failures, never retried.
+fn check_determinism(cfg: &ServiceConfig, r: &ServiceReport) {
+    let a = &r.aggregate;
+    check(
+        a.offered_pkts == a.delivered_pkts + a.dropped_pkts + a.evicted_pkts,
+        &format!(
+            "aggregate packet conservation ({} offered = {} delivered + {} dropped + {} evicted)",
+            a.offered_pkts, a.delivered_pkts, a.dropped_pkts, a.evicted_pkts
+        ),
+    );
+    check(a.integrity_violations == 0, "zero torn frames end-to-end");
+    check(
+        a.dropped_pkts + a.evicted_pkts > 0,
+        "sustained overload actually exercises the drop policy",
+    );
+    // The last offered-traffic boundary falls exactly at `duration`; a
+    // backlog that drains within that final epoch closes no snapshot
+    // there, so "all but possibly the last" boundaries must have one.
+    let virtual_epochs = cfg.duration.as_u64() / cfg.epoch.as_u64();
+    check(
+        r.epoch_digests.len() as u64 + 1 >= virtual_epochs,
+        &format!(
+            "multi-second steady state: {} completed epochs covers the {} \
+             offered-traffic epochs",
+            r.epoch_digests.len(),
+            virtual_epochs
+        ),
+    );
+
+    // Exact reconciliation: every windowed counter sums to the
+    // end-of-run total — the "no event falls between windows" contract.
+    let sums =
+        |f: fn(&npqm_traffic::service::EpochWindow) -> u64| r.windows.iter().map(f).sum::<u64>();
+    check(
+        sums(|w| w.offered_pkts) == a.offered_pkts
+            && sums(|w| w.offered_bytes) == a.offered_bytes
+            && sums(|w| w.dropped_pkts) == a.dropped_pkts
+            && sums(|w| w.evicted_pkts) == a.evicted_pkts
+            && sums(|w| w.delivered_pkts) == a.delivered_pkts
+            && sums(|w| w.delivered_bytes) == a.delivered_bytes,
+        "windowed totals reconcile exactly with the final counters",
+    );
+    check(
+        sums(|w| w.latency_ns.count()) == a.delivered_pkts,
+        "every delivered packet appears in exactly one window histogram",
+    );
+    check(
+        sums(|w| w.ring_full_events) == r.ring_full_events,
+        "backpressure events attribute exactly to windows",
+    );
+    for w in &r.windows {
+        let (p50, p99, p999) = (w.p50_ns(), w.p99_ns(), w.p999_ns());
+        check(
+            p50 <= p99 && p99 <= p999,
+            &format!(
+                "epoch {}: latency quantiles monotone (p50<=p99<=p999)",
+                w.epoch
+            ),
+        );
+    }
+
+    // Online verification: every snapshot on every shard passed the
+    // invariant walk with zero torn frames.
+    for (s, sh) in r.shards.iter().enumerate() {
+        check(
+            sh.residual_pkts == 0,
+            &format!("shard {s}: ledger fully drained"),
+        );
+        check(
+            sh.snapshots
+                .iter()
+                .all(|sn| sn.verify_ok && sn.integrity_violations == 0),
+            &format!(
+                "shard {s}: invariant walk + zero torn frames at all {} epoch snapshots",
+                sh.snapshots.len()
+            ),
+        );
+    }
+
+    // Bounded memory: lanes are bounded by construction
+    // (`sync_channel(ring_capacity)` / capacity-checked serial lanes);
+    // the only elastic buffer is consumer-side reordering, which
+    // producer pacing must keep within a small multiple of the rings.
+    let bound = REORDER_BOUND_RINGS * (cfg.generators * cfg.ring_capacity) as u64;
+    check(
+        r.reorder_peak <= bound,
+        &format!(
+            "bounded memory: reorder peak {} <= {bound} ({}x aggregate ring capacity)",
+            r.reorder_peak, REORDER_BOUND_RINGS
+        ),
+    );
+}
+
+/// Digest stability across thread counts and against quiesced replays.
+fn check_digest_stability(cfg: &ServiceConfig, r: &ServiceReport, threads: usize) {
+    let other = if threads == 1 { CROSS_THREADS } else { 1 };
+    let r2 = run(cfg, other);
+    check(
+        r.epoch_digests == r2.epoch_digests,
+        &format!(
+            "online epoch digests byte-identical at {threads} and {other} threads \
+             ({} epochs)",
+            r.epoch_digests.len()
+        ),
+    );
+    check(
+        r.final_digest == r2.final_digest,
+        &format!(
+            "final state digest identical at {threads} and {other} threads \
+             ({:#018x})",
+            r.final_digest
+        ),
+    );
+    check(
+        format!("{:?}", r.aggregate) == format!("{:?}", r2.aggregate),
+        "aggregate report byte-identical across thread counts",
+    );
+
+    // Quiesced spot checks: the cheapest and the most loaded boundary.
+    // (The full per-epoch sweep lives in the service unit tests; each
+    // quiesced digest here replays the run up to that boundary.)
+    let last = r.epoch_digests.len() as u64 - 1;
+    for e in [0, last] {
+        let q = quiesced_digest(
+            cfg,
+            e,
+            |_| DynamicThreshold::new(2.0),
+            |_| DeficitRoundRobin::new(vec![1518; cfg.mix.flows() as usize]),
+        );
+        check(
+            r.epoch_digests[e as usize] == q,
+            &format!(
+                "epoch {e} online digest equals the quiesced stop-the-world replay \
+                 ({:#018x})",
+                q
+            ),
+        );
+    }
+}
+
+/// The steady-state rate gate, which measures wall clock (busy times):
+/// returns the first failure for the one-retry policy.
+fn rate_gate(r: &ServiceReport, baseline: f64) -> Result<(), String> {
+    let rate = r.segments_per_sec();
+    let need = baseline * RATE_VS_TABLE7;
+    if rate >= need {
+        Ok(())
+    } else {
+        Err(format!(
+            "steady-state composite {:.2} Mseg/s >= {RATE_VS_TABLE7:.1}x table7 \
+             single-engine rate ({:.2} Mseg/s)",
+            rate / 1e6,
+            need / 1e6
+        ))
+    }
+}
+
+/// Runs the rate gate with the same one-retry policy as the other
+/// timing gates: busy times on a noisy shared runner can dent one run
+/// with no code regression, so a failure earns exactly one fresh run
+/// (and a fresh baseline) on which only the timing gate is re-evaluated.
+fn rate_gate_with_retry(cfg: &ServiceConfig, r: &ServiceReport, threads: usize) {
+    let baseline = run_shard_scale(&ShardScaleConfig::table7(), 1, 1).segments_per_sec();
+    match rate_gate(r, baseline) {
+        Ok(()) => println!(
+            "table10 check: steady-state composite {:.2} Mseg/s >= {RATE_VS_TABLE7:.1}x \
+             table7 single-engine rate ({:.2} Mseg/s): ok",
+            r.segments_per_sec() / 1e6,
+            baseline * RATE_VS_TABLE7 / 1e6
+        ),
+        Err(first) => {
+            eprintln!(
+                "table10 check: timing gate failed ({first}); \
+                 retrying once on a fresh run (deterministic gates are not re-run)"
+            );
+            let retry = run(cfg, threads);
+            let baseline = run_shard_scale(&ShardScaleConfig::table7(), 1, 1).segments_per_sec();
+            match rate_gate(&retry, baseline) {
+                Ok(()) => println!(
+                    "table10 check: rate gate: ok on retry ({:.2} Mseg/s)",
+                    retry.segments_per_sec() / 1e6
+                ),
+                Err(second) => check(false, &second),
+            }
+        }
+    }
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("table10: wrote {path}");
+}
+
+fn run_check(report_path: Option<&str>) {
+    let threads = threads_from_env();
+    println!(
+        "table10 check: NPQM_THREADS={threads} ({} cores available)",
+        cores()
+    );
+    let cfg = ServiceConfig::table10();
+    let r = run(&cfg, threads);
+    check_determinism(&cfg, &r);
+    check_digest_stability(&cfg, &r, threads);
+    if threads == 1 {
+        rate_gate_with_retry(&cfg, &r, threads);
+    } else {
+        // Busy times measured while worker threads contend for the
+        // host's cores are not a clean composite basis; the serial leg
+        // (ci.sh runs it at NPQM_THREADS=1) enforces the rate gate.
+        println!(
+            "table10 check: rate gate is enforced on the NPQM_THREADS=1 leg; \
+             skipped at {threads} threads where contention contaminates busy times"
+        );
+    }
+    if let Some(path) = report_path {
+        write_file(path, &service_report_deterministic_json(&r).pretty());
+    }
+    println!("table10 check: PASS");
+}
+
+fn print_pretty(cfg: &ServiceConfig, r: &ServiceReport) {
+    println!("Table 10 (ours): always-on streaming service, steady state");
+    println!("==========================================================");
+    println!(
+        "workload: {} flows (Zipf), IMIX sizes, {} generators at {:.2} Gbit/s offered \
+         vs {:.1} Gbit/s egress over {} shards, {} ms virtual in {} ms epochs, \
+         ring capacity {} pkts/lane",
+        cfg.mix.flows(),
+        cfg.generators,
+        cfg.offered_gbps(),
+        cfg.egress_gbps,
+        cfg.shards,
+        cfg.duration.as_u64() / 1_000_000_000,
+        cfg.epoch.as_u64() / 1_000_000_000,
+        cfg.ring_capacity,
+    );
+    println!("model: per-shard ingress lanes, no global barrier; online snapshots per epoch");
+    println!();
+    println!(
+        "{:>5} {:>9} {:>9} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "epoch",
+        "offered",
+        "admitted",
+        "dropped",
+        "delivered",
+        "goodput",
+        "p50",
+        "p99",
+        "p999",
+        "ring-full"
+    );
+    for w in &r.windows {
+        let q = |v: Option<u64>| match v {
+            Some(ns) => format!("{:.1}us", ns as f64 / 1e3),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:>5} {:>9} {:>9} {:>8} {:>9} {:>7.3}G {:>9} {:>9} {:>9} {:>9}",
+            w.epoch,
+            w.offered_pkts,
+            w.admitted_pkts,
+            w.dropped_pkts + w.evicted_pkts,
+            w.delivered_pkts,
+            w.goodput_gbps(r.epoch_len),
+            q(w.p50_ns()),
+            q(w.p99_ns()),
+            q(w.p999_ns()),
+            w.ring_full_events,
+        );
+    }
+    println!();
+    println!("online snapshots (engine-wide digest per completed epoch):");
+    for (e, d) in r.epoch_digests.iter().enumerate() {
+        println!("  epoch {e:>2}: {d:#018x}");
+    }
+    println!("  final:    {:#018x}", r.final_digest);
+    println!();
+    let a = &r.aggregate;
+    println!(
+        "headline: {:.2} Mseg/s sustained composite; {} offered = {} delivered + {} \
+         dropped + {} evicted; {} backpressure stalls (counted, never dropped); \
+         reorder peak {} pkts; {} torn frames",
+        r.segments_per_sec() / 1e6,
+        a.offered_pkts,
+        a.delivered_pkts,
+        a.dropped_pkts,
+        a.evicted_pkts,
+        r.ring_full_events,
+        r.reorder_peak,
+        a.integrity_violations,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if args.iter().any(|a| a == "--check") {
+        if flag_value("--json").is_some() {
+            eprintln!(
+                "table10: --json is ignored in --check mode (run without --check for the \
+                 bench artifact; --report writes the determinism document)"
+            );
+        }
+        run_check(flag_value("--report").as_deref());
+        return;
+    }
+
+    let cfg = ServiceConfig::table10();
+    let threads = threads_from_env();
+    let r = run(&cfg, threads);
+    print_pretty(&cfg, &r);
+
+    if let Some(path) = flag_value("--json") {
+        let baseline = run_shard_scale(&ShardScaleConfig::table7(), 1, 1);
+        let doc = Json::obj([
+            ("table", "table10".to_json()),
+            ("service", r.to_json()),
+            (
+                "table7_one_shard_segments_per_sec",
+                baseline.segments_per_sec().to_json(),
+            ),
+        ]);
+        write_file(&path, &doc.pretty());
+    }
+}

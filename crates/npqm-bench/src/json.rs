@@ -125,6 +125,297 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+impl Json {
+    /// Parses a JSON document — the exact inverse of [`Json::pretty`]
+    /// (plus arbitrary whitespace), used by the `bench_gate` binary to
+    /// read committed benchmark artifacts back. Strict: trailing
+    /// garbage, trailing commas and bare NaN/Infinity are errors.
+    ///
+    /// Number tokens without a fraction or exponent part parse as
+    /// [`Json::Int`] when they fit `i64` (so counters round-trip
+    /// exactly); everything else parses as [`Json::Num`].
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.b.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Looks a field up in an object; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` ([`Json::Int`] widens losslessly up to
+    /// 2^53); `None` on non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer value; `None` on non-[`Json::Int`] variants.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean value; `None` on non-[`Json::Bool`] variants.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String value; `None` on non-[`Json::Str`] variants.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items; `None` on non-[`Json::Arr`] variants.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields in insertion order; `None` on non-[`Json::Obj`]
+    /// variants.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent state for [`Json::parse`].
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.pos) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_word("null", Json::Null),
+            Some(b't') => self.eat_word("true", Json::Bool(true)),
+            Some(b'f') => self.eat_word("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must
+                                // follow with the low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Multi-byte UTF-8 is passed through verbatim.
+                    let start = self.pos;
+                    let s = std::str::from_utf8(&self.b[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().expect("peeked a byte");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let digits = self
+            .b
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if fractional => self.pos += 1,
+                _ => break,
+            }
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.pos]).expect("ASCII number token");
+        if !fractional {
+            if let Ok(i) = tok.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        tok.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number '{tok}' at byte {start}"))
+    }
+}
+
 /// Conversion into the [`Json`] document model.
 pub trait ToJson {
     /// Renders `self` as a JSON value.
@@ -363,6 +654,172 @@ impl ToJson for npqm_traffic::pipeline::PolicyOutcome {
     }
 }
 
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// `u64` digests rendered as zero-padded hex strings: [`Json::Int`] is
+/// `i64` and the float fallback would silently round 64-bit FNV values.
+fn digest_json(d: u64) -> Json {
+    Json::Str(format!("{d:#018x}"))
+}
+
+impl ToJson for npqm_traffic::service::EpochWindow {
+    /// The full window including the scheduling-dependent backpressure
+    /// count; the determinism projection
+    /// ([`epoch_window_deterministic_json`]) leaves that field out.
+    fn to_json(&self) -> Json {
+        let mut fields = match epoch_window_deterministic_json(self) {
+            Json::Obj(f) => f,
+            _ => unreachable!("projection is an object"),
+        };
+        fields.push((
+            "ring_full_events".to_string(),
+            self.ring_full_events.to_json(),
+        ));
+        Json::Obj(fields)
+    }
+}
+
+/// The deterministic projection of an [`npqm_traffic::service::EpochWindow`]:
+/// every counter and latency quantile, minus `ring_full_events` (producer
+/// stalls depend on thread scheduling, like steal counts).
+pub fn epoch_window_deterministic_json(w: &npqm_traffic::service::EpochWindow) -> Json {
+    Json::obj([
+        ("epoch", w.epoch.to_json()),
+        ("offered_pkts", w.offered_pkts.to_json()),
+        ("offered_bytes", w.offered_bytes.to_json()),
+        ("admitted_pkts", w.admitted_pkts.to_json()),
+        ("dropped_pkts", w.dropped_pkts.to_json()),
+        ("evicted_pkts", w.evicted_pkts.to_json()),
+        ("delivered_pkts", w.delivered_pkts.to_json()),
+        ("delivered_bytes", w.delivered_bytes.to_json()),
+        ("latency_count", w.latency_ns.count().to_json()),
+        ("latency_overflow", w.latency_ns.overflow().to_json()),
+        ("p50_ns", w.p50_ns().to_json()),
+        ("p99_ns", w.p99_ns().to_json()),
+        ("p999_ns", w.p999_ns().to_json()),
+    ])
+}
+
+impl ToJson for npqm_traffic::service::EpochSnapshot {
+    /// Every snapshot field is deterministic — online snapshots are the
+    /// digest-stability surface itself.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("epoch", self.epoch.to_json()),
+            ("at_ps", self.at.as_u64().to_json()),
+            ("digest", digest_json(self.digest)),
+            ("verify_ok", self.verify_ok.to_json()),
+            ("segments_used", self.segments_used.to_json()),
+            ("payload_bytes", self.payload_bytes.to_json()),
+            ("buffered_pkts", self.buffered_pkts.to_json()),
+            ("integrity_violations", self.integrity_violations.to_json()),
+        ])
+    }
+}
+
+impl ToJson for npqm_traffic::service::ShardServiceReport {
+    /// The full per-shard outcome including the scheduling-dependent
+    /// fields (backpressure, reorder peak) and the measured busy time.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("report", self.report.to_json()),
+            ("windows", self.windows.to_json()),
+            ("snapshots", self.snapshots.to_json()),
+            ("final_digest", digest_json(self.final_digest)),
+            ("residual_pkts", self.residual_pkts.to_json()),
+            ("ring_full_events", self.ring_full_events.to_json()),
+            ("reorder_peak", self.reorder_peak.to_json()),
+            ("busy_us", duration_us(self.busy)),
+            ("segments_processed", self.segments_processed.to_json()),
+        ])
+    }
+}
+
+impl ToJson for npqm_traffic::service::ServiceReport {
+    /// The full service outcome, wall clock and all — the per-commit
+    /// perf-artifact shape (`BENCH_table10.json`). The CI determinism
+    /// diff uses [`service_report_deterministic_json`] instead.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("threads", self.threads.to_json()),
+            ("epoch_len_ps", self.epoch_len.as_u64().to_json()),
+            ("aggregate", self.aggregate.to_json()),
+            ("shards", self.shards.to_json()),
+            ("windows", self.windows.to_json()),
+            (
+                "epoch_digests",
+                Json::Arr(self.epoch_digests.iter().map(|&d| digest_json(d)).collect()),
+            ),
+            ("final_digest", digest_json(self.final_digest)),
+            ("shard_of_flow", self.shard_of_flow.to_json()),
+            ("ring_full_events", self.ring_full_events.to_json()),
+            ("reorder_peak", self.reorder_peak.to_json()),
+            ("segments_processed", self.segments_processed.to_json()),
+            ("segments_per_sec", self.segments_per_sec().to_json()),
+            ("critical_path_us", duration_us(self.critical_path)),
+            ("wall_clock_us", duration_us(self.wall_clock)),
+        ])
+    }
+}
+
+/// The deterministic projection of an
+/// [`npqm_traffic::service::ServiceReport`]: only fields that are pure
+/// functions of the configuration — no wall clock, no busy times, no
+/// thread count, no backpressure counts, no reorder peaks. This is the
+/// document `table10 --check --report` writes and the CI
+/// `parallel-determinism` stage diffs across `NPQM_THREADS` values.
+pub fn service_report_deterministic_json(r: &npqm_traffic::service::ServiceReport) -> Json {
+    let shard_json = |sh: &npqm_traffic::service::ShardServiceReport| {
+        Json::obj([
+            ("report", sh.report.to_json()),
+            (
+                "windows",
+                Json::Arr(
+                    sh.windows
+                        .iter()
+                        .map(epoch_window_deterministic_json)
+                        .collect(),
+                ),
+            ),
+            ("snapshots", sh.snapshots.to_json()),
+            ("final_digest", digest_json(sh.final_digest)),
+            ("residual_pkts", sh.residual_pkts.to_json()),
+            ("segments_processed", sh.segments_processed.to_json()),
+        ])
+    };
+    Json::obj([
+        ("epoch_len_ps", r.epoch_len.as_u64().to_json()),
+        ("aggregate", r.aggregate.to_json()),
+        (
+            "shards",
+            Json::Arr(r.shards.iter().map(shard_json).collect()),
+        ),
+        (
+            "windows",
+            Json::Arr(
+                r.windows
+                    .iter()
+                    .map(epoch_window_deterministic_json)
+                    .collect(),
+            ),
+        ),
+        (
+            "epoch_digests",
+            Json::Arr(r.epoch_digests.iter().map(|&d| digest_json(d)).collect()),
+        ),
+        ("final_digest", digest_json(r.final_digest)),
+        ("shard_of_flow", r.shard_of_flow.to_json()),
+        ("segments_processed", r.segments_processed.to_json()),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,5 +865,117 @@ mod tests {
         let row = npqm_mms::perf::PAPER_TABLE5[0];
         let json = row.to_json();
         assert!(json.pretty().contains("load_gbps"));
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let doc = Json::obj([
+            ("xs", vec![1i32, 2].to_json()),
+            ("name", "q\"\\\n\u{0007}é".to_json()),
+            ("rate", Json::Num(1.25)),
+            ("whole", Json::Num(3.0)),
+            ("big", u64::MAX.to_json()),
+            ("nan", Json::Num(f64::NAN)), // prints as null
+            ("flag", Json::Bool(false)),
+            ("nothing", Json::Null),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let parsed = Json::parse(&doc.pretty()).expect("pretty output parses");
+        // NaN prints as null, so compare against the expected tree.
+        let mut expect = doc;
+        if let Json::Obj(fields) = &mut expect {
+            fields[5].1 = Json::Null;
+        }
+        assert_eq!(parsed, expect);
+        // And the round trip is a fixed point from then on.
+        assert_eq!(Json::parse(&parsed.pretty()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("42.0").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("-1.5e-2").unwrap(), Json::Num(-0.015));
+        // Magnitudes beyond i64 survive via the float fallback.
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::Num(u64::MAX as f64)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "[1] x",
+            "\"\\q\"",
+            "\"unterminated",
+            "{\"a\":}",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Json::Str("Aé😀".into())
+        );
+        assert!(Json::parse("\"\\ud83d\"").is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn accessors_navigate() {
+        let doc = Json::parse("{\"a\": {\"b\": [1, 2.5, \"s\", true]}}").unwrap();
+        let arr = doc.get("a").and_then(|a| a.get("b")).unwrap();
+        let items = arr.as_arr().unwrap();
+        assert_eq!(items[0].as_i64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("s"));
+        assert_eq!(items[3].as_bool(), Some(true));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.entries().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn service_report_json_shapes() {
+        use npqm_core::policy::DynamicThreshold;
+        use npqm_core::sched::DeficitRoundRobin;
+        let cfg = npqm_traffic::service::ServiceConfig::steady_demo(5);
+        let r = npqm_traffic::run_service(
+            &cfg,
+            1,
+            |_| DynamicThreshold::new(2.0),
+            |_| DeficitRoundRobin::new(vec![1518; 8]),
+        );
+        let full = r.to_json();
+        for key in ["wall_clock_us", "ring_full_events", "threads", "windows"] {
+            assert!(full.get(key).is_some(), "full artifact carries {key}");
+        }
+        let det = service_report_deterministic_json(&r);
+        for key in [
+            "wall_clock_us",
+            "ring_full_events",
+            "threads",
+            "reorder_peak",
+        ] {
+            assert!(det.get(key).is_none(), "determinism report excludes {key}");
+        }
+        // Windows inside the determinism report exclude backpressure too.
+        let w0 = det.get("windows").unwrap().as_arr().unwrap()[0].clone();
+        assert!(w0.get("ring_full_events").is_none());
+        assert!(w0.get("p99_ns").is_some());
+        // The whole document round-trips through the parser.
+        let parsed = Json::parse(&det.pretty()).expect("report parses");
+        assert_eq!(parsed, det);
     }
 }

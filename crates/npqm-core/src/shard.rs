@@ -355,6 +355,48 @@ impl ShardedQueueManager {
             })
     }
 
+    /// The [`crate::check::state_digest`] of shard `idx` alone.
+    ///
+    /// This is the *non-quiescent* snapshot hook for streaming service
+    /// loops: the walk is read-only and touches only shard `idx`, so a
+    /// per-shard service thread may call it at an epoch boundary while
+    /// other shards keep running — no global barrier, no stop-the-world.
+    /// Folding every shard's digest in shard order from
+    /// [`crate::check::FNV_OFFSET_BASIS`] reproduces
+    /// [`state_digest`](ShardedQueueManager::state_digest) exactly, which
+    /// is what lets independently-snapshotted shards be composed into an
+    /// engine-wide digest after the fact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_shards`.
+    pub fn shard_digest(&self, idx: usize) -> u64 {
+        crate::check::state_digest(&self.shards[idx])
+    }
+
+    /// Runs the full single-engine invariant pass on shard `idx` alone.
+    ///
+    /// Like [`shard_digest`](ShardedQueueManager::shard_digest) this is
+    /// safe mid-run from the thread that owns the shard: `verify` is
+    /// side-effect-free and confined to one engine. The cross-shard
+    /// conservation invariants (flow locality, aggregate partition) need
+    /// every shard at once — use
+    /// [`verify`](ShardedQueueManager::verify) for those when the engine
+    /// is quiescent.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, prefixed with the shard index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_shards`.
+    pub fn verify_shard(&self, idx: usize) -> Result<InvariantReport, InvariantViolation> {
+        self.shards[idx].verify().map_err(|v| InvariantViolation {
+            what: format!("shard {idx}: {}", v.what),
+        })
+    }
+
     /// Per-shard busy time accumulated by batch execution
     /// ([`execute_batch`](ShardedQueueManager::execute_batch) and
     /// [`ShardedAdmission::offer_batch`]).
@@ -891,6 +933,21 @@ mod tests {
             flow: FlowId::new(flow),
             data: vec![byte; len],
             pos: SegmentPosition::Only,
+        }
+    }
+
+    #[test]
+    fn per_shard_digests_compose_to_the_engine_digest() {
+        let mut e = ShardedQueueManager::new(cfg(64), 4);
+        for f in 0..16u32 {
+            let _ = e.execute(enqueue_cmd(f, f as u8, 40));
+        }
+        let folded = (0..e.num_shards()).fold(crate::check::FNV_OFFSET_BASIS, |h, s| {
+            crate::check::fnv1a_fold(h, e.shard_digest(s))
+        });
+        assert_eq!(folded, e.state_digest());
+        for s in 0..e.num_shards() {
+            e.verify_shard(s).expect("each shard verifies in isolation");
         }
     }
 

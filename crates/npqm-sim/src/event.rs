@@ -107,6 +107,26 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Advances the clock to `at` without popping an event, for loops
+    /// that interleave externally-sourced events (e.g. arrivals merged
+    /// from ingress rings) with scheduled ones: the caller advances to
+    /// the external event's time so relative scheduling
+    /// ([`schedule_in`](EventQueue::schedule_in)) is anchored correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time, or if an event is
+    /// still pending before `at` (skipping over it would corrupt
+    /// causality exactly like scheduling into the past).
+    pub fn advance_to(&mut self, at: Picos) {
+        assert!(at >= self.now, "cannot advance into the past");
+        assert!(
+            self.peek_time().is_none_or(|t| t >= at),
+            "cannot advance past a pending event"
+        );
+        self.now = at;
+    }
+
     /// Current simulation time (time of the last popped event).
     pub const fn now(&self) -> Picos {
         self.now
@@ -177,6 +197,28 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None.map(|(t, p): (Picos, u8)| (t, p)));
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_without_popping() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(Picos::from_nanos(50), 1);
+        q.advance_to(Picos::from_nanos(20));
+        assert_eq!(q.now(), Picos::from_nanos(20));
+        assert_eq!(q.len(), 1);
+        q.schedule_in(Picos::from_nanos(5), 2);
+        assert_eq!(q.pop(), Some((Picos::from_nanos(25), 2)));
+        // Advancing exactly to the earliest pending event is allowed.
+        q.advance_to(Picos::from_nanos(50));
+        assert_eq!(q.pop(), Some((Picos::from_nanos(50), 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance past a pending event")]
+    fn advance_past_a_pending_event_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_nanos(10), ());
+        q.advance_to(Picos::from_nanos(11));
     }
 
     #[test]

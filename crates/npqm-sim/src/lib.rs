@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod epoch;
 pub mod event;
 pub mod fifo;
 pub mod rate;

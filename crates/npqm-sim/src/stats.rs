@@ -244,6 +244,33 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Bucket width in units.
+    pub const fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Merges another histogram into this one, bucket by bucket — the
+    /// counterpart of [`MeanVar::merge`] for quantile aggregation (e.g.
+    /// folding per-shard epoch windows into an engine-wide window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different shapes (bucket count
+    /// or width): their buckets would not describe the same ranges.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "histogram widths differ");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket counts differ"
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Approximate quantile (`q` in `[0,1]`) using bucket upper bounds.
     ///
     /// Returns `None` when empty. The overflow bucket reports `u64::MAX`.
@@ -413,6 +440,31 @@ mod tests {
         h.record(1_000);
         assert_eq!(h.overflow(), 1);
         assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let mut whole = Histogram::new(4, 10);
+        let mut left = Histogram::new(4, 10);
+        let mut right = Histogram::new(4, 10);
+        for (i, v) in [0u64, 5, 9, 10, 25, 39, 1_000, 52].iter().enumerate() {
+            whole.record(*v);
+            if i % 2 == 0 {
+                left.record(*v);
+            } else {
+                right.record(*v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram widths differ")]
+    fn histogram_merge_rejects_mismatched_width() {
+        let mut a = Histogram::new(4, 10);
+        let b = Histogram::new(4, 20);
+        a.merge(&b);
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //!   aggregate reports, optionally running each shard's loop on its own
 //!   thread (byte-identical to serial), and a global-LQD mode that
 //!   shares one buffer budget across all partitions;
+//! * [`service`] — the **always-on streaming service mode**: bounded
+//!   per-shard ingress rings fed by generator threads (backpressure is
+//!   counted, never silently dropped), per-shard `process_once` service
+//!   loops with no global barrier, epoch-windowed statistics
+//!   (p50/p99/p999 delivery latency, goodput, drops, ring-full events
+//!   per window) and online verification — invariant walks plus
+//!   state-digest snapshots at epoch boundaries that equal a quiesced
+//!   run's digests, byte-identical at any thread count (the `table10`
+//!   steady-state experiment runs on this);
 //! * [`scale`] — the shard-scaling throughput experiment behind
 //!   `table7`: segments/sec versus shard count under the Zipf
 //!   bursty-overload mix, with a full conservation/torn-frame ledger, a
@@ -61,6 +70,7 @@ pub mod flows;
 pub mod packet;
 pub mod pipeline;
 pub mod scale;
+pub mod service;
 pub mod size;
 pub mod trace;
 
@@ -68,5 +78,6 @@ pub use arrival::ArrivalProcess;
 pub use flows::FlowMix;
 pub use packet::{AtmCell, EthernetFrame, Ipv4Packet, MacAddr, VlanTag};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, PolicyOutcome};
+pub use service::{run_service, run_service_observed, ServiceConfig, ServiceReport};
 pub use size::SizeDistribution;
 pub use trace::{Trace, TraceRecord};

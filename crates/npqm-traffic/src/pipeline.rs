@@ -44,6 +44,10 @@
 
 use crate::arrival::{ArrivalGen, ArrivalProcess};
 use crate::flows::FlowMix;
+use crate::service::{
+    generate_trace, partition_indices, run_trace_shard, ArrivalEvent, LoopState, PacketStream,
+    DRAW_SEED_MIX,
+};
 use crate::size::SizeDistribution;
 use npqm_core::limits::{BufferManager, FlowLimits};
 use npqm_core::policy::{DropPolicy, DynamicThreshold, LongestQueueDrop};
@@ -52,7 +56,6 @@ use npqm_core::shard::parallel::{GlobalDropPolicy, GlobalLqd};
 use npqm_core::shard::ShardedQueueManager;
 use npqm_core::timing::{MemoryModel, PaperTiming, TimingConfig};
 use npqm_core::{FlowId, QmConfig, QueueManager};
-use npqm_sim::rng::Xoshiro256pp;
 use npqm_sim::stats::MeanVar;
 use npqm_sim::time::Picos;
 use npqm_sim::EventQueue;
@@ -220,14 +223,14 @@ enum Ev {
 /// One buffered packet's ledger slot: when it was admitted, how long it
 /// is, and the marker byte stamped into its first payload byte.
 #[derive(Debug, Clone, Copy)]
-struct Slot {
-    enqueued_at: Picos,
-    len: u32,
-    marker: u8,
+pub(crate) struct Slot {
+    pub(crate) enqueued_at: Picos,
+    pub(crate) len: u32,
+    pub(crate) marker: u8,
 }
 
 /// How the egress server prices a packet's service time.
-enum Egress<'a> {
+pub(crate) enum Egress<'a> {
     /// Fixed line rate in Gbit/s: `len * 8 / gbps` nanoseconds.
     Line(f64),
     /// Memory-derived: the modeled ZBT+DDR cost of the packet's dequeue
@@ -350,20 +353,13 @@ where
         qm.set_tracing(true);
     }
     let mut arrivals = ArrivalGen::new(cfg.arrivals, cfg.seed);
-    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut stream = PacketStream::new(&cfg.mix, &cfg.sizes, cfg.seed ^ DRAW_SEED_MIX);
     let mut ev: EventQueue<Ev> = EventQueue::new();
-    let mut report = PipelineReport {
-        flows: (0..flows).map(|_| FlowReport::default()).collect(),
-        ..PipelineReport::default()
-    };
-    // Per-flow ledger of one Slot per buffered packet; per-flow queues
-    // are FIFO, so admissions push at the back, evictions
-    // (drop-from-front) pop at the front, and service pops at the front.
-    let mut ledger: Vec<VecDeque<Slot>> = (0..flows).map(|_| VecDeque::new()).collect();
-    // Scratch payload sized to the largest packet the distribution can
-    // draw, so no sampled size is ever silently truncated.
-    let mut payload = vec![0xA5u8; cfg.sizes.max_bytes() as usize];
-    let mut seq = 0u64;
+    // Per-flow report, per-flow ledger (one Slot per buffered packet;
+    // per-flow queues are FIFO, so admissions push at the back,
+    // evictions pop at the front, service pops at the front) and the
+    // scratch payload buffer, shared with the streaming service loops.
+    let mut st = LoopState::new(flows, cfg.sizes.max_bytes());
     let mut server_busy = false;
 
     let first = arrivals.next_arrival();
@@ -374,43 +370,8 @@ where
     while let Some((now, event)) = ev.pop() {
         match event {
             Ev::Arrival => {
-                let flow = cfg.mix.sample(&mut rng);
-                let size = cfg.sizes.sample(&mut rng) as usize;
-                // Stamp a per-packet marker into the frame: delivery
-                // re-checks it, so a torn or cross-linked frame is caught
-                // even when its length happens to survive.
-                let marker = seq as u8;
-                seq += 1;
-                payload[0] = marker;
-                let fr = &mut report.flows[flow.as_usize()];
-                fr.offered_pkts += 1;
-                fr.offered_bytes += size as u64;
-                let (evicted, admitted) = match policy.offer(&mut qm, flow, &payload[..size]) {
-                    Ok(admission) => (admission.evicted, true),
-                    Err(refusal) => (refusal.evicted, false),
-                };
-                // Evictions happen on admission *and* on refusal (a
-                // push-out policy may clear room and still fail): both
-                // must keep the ledger in sync.
-                for (victim, bytes) in evicted {
-                    let slot = ledger[victim.as_usize()]
-                        .pop_front()
-                        .expect("evicted packet must be in the ledger");
-                    if slot.len != bytes {
-                        report.integrity_violations += 1;
-                    }
-                    report.flows[victim.as_usize()].evicted_pkts += 1;
-                }
-                if admitted {
-                    ledger[flow.as_usize()].push_back(Slot {
-                        enqueued_at: now,
-                        len: size as u32,
-                        marker,
-                    });
-                    report.flows[flow.as_usize()].admitted_pkts += 1;
-                } else {
-                    report.flows[flow.as_usize()].dropped_pkts += 1;
-                }
+                let (flow, size, marker) = stream.next_packet();
+                st.arrival(&mut qm, policy, now, flow, size as usize, marker);
                 let next = arrivals.next_arrival();
                 if next <= cfg.duration {
                     ev.schedule(next, Ev::Arrival);
@@ -419,10 +380,10 @@ where
                     server_busy = start_service(
                         &mut qm,
                         sched,
-                        &mut ledger,
+                        &mut st.ledger,
                         &mut ev,
                         egress,
-                        &mut report.integrity_violations,
+                        &mut st.report.integrity_violations,
                         |flow, bytes, enqueued_at| Ev::TxDone {
                             shard: 0,
                             flow,
@@ -438,17 +399,14 @@ where
                 enqueued_at,
                 ..
             } => {
-                let fr = &mut report.flows[flow.as_usize()];
-                fr.delivered_pkts += 1;
-                fr.delivered_bytes += bytes as u64;
-                fr.latency_ns.push((now - enqueued_at).as_nanos_f64());
+                st.delivery(now, flow, bytes, enqueued_at);
                 server_busy = start_service(
                     &mut qm,
                     sched,
-                    &mut ledger,
+                    &mut st.ledger,
                     &mut ev,
                     egress,
-                    &mut report.integrity_violations,
+                    &mut st.report.integrity_violations,
                     |flow, bytes, enqueued_at| Ev::TxDone {
                         shard: 0,
                         flow,
@@ -460,21 +418,12 @@ where
         }
     }
 
-    report.makespan = ev.now();
-    for fr in &report.flows {
-        report.offered_pkts += fr.offered_pkts;
-        report.offered_bytes += fr.offered_bytes;
-        report.dropped_pkts += fr.dropped_pkts;
-        report.evicted_pkts += fr.evicted_pkts;
-        report.delivered_pkts += fr.delivered_pkts;
-        report.delivered_bytes += fr.delivered_bytes;
-        report.latency_ns.merge(&fr.latency_ns);
-    }
+    st.finish(ev.now());
     debug_assert!(
         qm.verify().is_ok(),
         "engine invariants violated after drain"
     );
-    report
+    st.report
 }
 
 /// Asks the scheduler for the next flow and, if one is ready, dequeues
@@ -482,9 +431,10 @@ where
 /// byte) and schedules a transmit-done event (built by `mk_txdone` from
 /// `(flow, bytes, enqueued_at)`) after the service time `egress` prices
 /// for it. Returns whether the server is now busy. Generic over the
-/// event type so the dense loop, the per-shard loops and the coupled
-/// global-admission loop share one service path.
-fn start_service<S: FlowScheduler + ?Sized, E>(
+/// event type so the dense loop, the per-shard loops, the coupled
+/// global-admission loop and the streaming service loops share one
+/// service path.
+pub(crate) fn start_service<S: FlowScheduler + ?Sized, E>(
     qm: &mut QueueManager,
     sched: &mut S,
     ledger: &mut [VecDeque<Slot>],
@@ -526,192 +476,10 @@ pub struct ShardedPipelineReport {
     pub shard_of_flow: Vec<usize>,
 }
 
-/// One pregenerated arrival of the offered trace.
-#[derive(Debug, Clone, Copy)]
-struct ArrivalEvent {
-    at: Picos,
-    flow: FlowId,
-    size: u32,
-    marker: u8,
-}
-
-/// Pregenerates the offered trace — arrival times, flows, sizes and
-/// marker bytes — as a pure function of `cfg`, drawing from the RNGs in
-/// exactly the order the dense event loop does (arrival time, then flow,
-/// then size, per packet). Sharded runs partition this one trace by home
-/// shard, so every shard count and execution mode sees the identical
-/// offered workload.
-fn generate_trace(cfg: &PipelineConfig) -> Vec<ArrivalEvent> {
-    let mut arrivals = ArrivalGen::new(cfg.arrivals, cfg.seed);
-    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
-    let mut out = Vec::new();
-    let mut seq = 0u64;
-    let mut at = arrivals.next_arrival();
-    while at <= cfg.duration {
-        let flow = cfg.mix.sample(&mut rng);
-        let size = cfg.sizes.sample(&mut rng);
-        out.push(ArrivalEvent {
-            at,
-            flow,
-            size,
-            marker: seq as u8,
-        });
-        seq += 1;
-        at = arrivals.next_arrival();
-    }
-    out
-}
-
-/// Events of one shard's private closed loop.
-#[derive(Debug, Clone)]
-enum SEv {
-    /// The `usize` indexes the shard's arrival list; processing arrival
-    /// `k` schedules arrival `k + 1`, mirroring the dense loop's
-    /// arrival chaining (and its event-queue tie behaviour).
-    Arrival(usize),
-    TxDone {
-        flow: FlowId,
-        bytes: u32,
-        enqueued_at: Picos,
-    },
-}
-
-/// One shard's closed loop: its slice of the offered trace through its
-/// own policy, scheduler and egress server. Entirely self-contained —
-/// own event queue, own ledger — which is what makes the sharded
-/// pipeline's parallel mode byte-identical to serial execution: the loop
-/// runs the same either way, only on different threads.
-///
-/// The returned report's `flows` vector is indexed by global flow id
-/// (foreign flows stay zero) and its `makespan` is this shard's own last
-/// event time; the caller overwrites it with the global maximum.
-fn run_shard_loop<P, S>(
-    cfg: &PipelineConfig,
-    trace: &[ArrivalEvent],
-    qm: &mut QueueManager,
-    policy: &mut P,
-    sched: &mut S,
-    gbps: f64,
-) -> PipelineReport
-where
-    P: DropPolicy + ?Sized,
-    S: FlowScheduler + ?Sized,
-{
-    let flows = cfg.mix.flows();
-    let mut ev: EventQueue<SEv> = EventQueue::new();
-    let mut report = PipelineReport {
-        flows: (0..flows).map(|_| FlowReport::default()).collect(),
-        ..PipelineReport::default()
-    };
-    let mut ledger: Vec<VecDeque<Slot>> = (0..flows).map(|_| VecDeque::new()).collect();
-    let mut payload = vec![0xA5u8; cfg.sizes.max_bytes() as usize];
-    let mut server_busy = false;
-    let mut egress = Egress::Line(gbps);
-
-    if let Some(first) = trace.first() {
-        ev.schedule(first.at, SEv::Arrival(0));
-    }
-
-    while let Some((now, event)) = ev.pop() {
-        match event {
-            SEv::Arrival(k) => {
-                let ArrivalEvent {
-                    flow, size, marker, ..
-                } = trace[k];
-                let size = size as usize;
-                payload[0] = marker;
-                let fr = &mut report.flows[flow.as_usize()];
-                fr.offered_pkts += 1;
-                fr.offered_bytes += size as u64;
-                let (evicted, admitted) = match policy.offer(qm, flow, &payload[..size]) {
-                    Ok(admission) => (admission.evicted, true),
-                    Err(refusal) => (refusal.evicted, false),
-                };
-                // Evictions happen on admission *and* on refusal; all
-                // victims are flows of this shard, so the local ledger
-                // covers them.
-                for (victim, bytes) in evicted {
-                    let slot = ledger[victim.as_usize()]
-                        .pop_front()
-                        .expect("evicted packet must be in the ledger");
-                    if slot.len != bytes {
-                        report.integrity_violations += 1;
-                    }
-                    report.flows[victim.as_usize()].evicted_pkts += 1;
-                }
-                if admitted {
-                    ledger[flow.as_usize()].push_back(Slot {
-                        enqueued_at: now,
-                        len: size as u32,
-                        marker,
-                    });
-                    report.flows[flow.as_usize()].admitted_pkts += 1;
-                } else {
-                    report.flows[flow.as_usize()].dropped_pkts += 1;
-                }
-                if let Some(next) = trace.get(k + 1) {
-                    ev.schedule(next.at, SEv::Arrival(k + 1));
-                }
-                if !server_busy {
-                    server_busy = start_service(
-                        qm,
-                        sched,
-                        &mut ledger,
-                        &mut ev,
-                        &mut egress,
-                        &mut report.integrity_violations,
-                        |flow, bytes, enqueued_at| SEv::TxDone {
-                            flow,
-                            bytes,
-                            enqueued_at,
-                        },
-                    );
-                }
-            }
-            SEv::TxDone {
-                flow,
-                bytes,
-                enqueued_at,
-            } => {
-                let fr = &mut report.flows[flow.as_usize()];
-                fr.delivered_pkts += 1;
-                fr.delivered_bytes += bytes as u64;
-                fr.latency_ns.push((now - enqueued_at).as_nanos_f64());
-                server_busy = start_service(
-                    qm,
-                    sched,
-                    &mut ledger,
-                    &mut ev,
-                    &mut egress,
-                    &mut report.integrity_violations,
-                    |flow, bytes, enqueued_at| SEv::TxDone {
-                        flow,
-                        bytes,
-                        enqueued_at,
-                    },
-                );
-            }
-        }
-    }
-
-    report.makespan = ev.now();
-    for f in 0..flows as usize {
-        let fr = report.flows[f].clone();
-        report.offered_pkts += fr.offered_pkts;
-        report.offered_bytes += fr.offered_bytes;
-        report.dropped_pkts += fr.dropped_pkts;
-        report.evicted_pkts += fr.evicted_pkts;
-        report.delivered_pkts += fr.delivered_pkts;
-        report.delivered_bytes += fr.delivered_bytes;
-        report.latency_ns.merge(&fr.latency_ns);
-    }
-    report
-}
-
 /// Merges per-shard reports into the aggregate view, stamping every
 /// report with the global makespan (the slowest shard's last event, i.e.
 /// the wall clock a shared observer would see).
-fn assemble_sharded_report(
+pub(crate) fn assemble_sharded_report(
     mut shards: Vec<PipelineReport>,
     shard_of_flow: Vec<usize>,
     flows: u32,
@@ -840,11 +608,12 @@ where
     let shard_of_flow: Vec<usize> = (0..flows)
         .map(|f| engine.shard_of(FlowId::new(f)))
         .collect();
+    // One shared trace, partitioned by *index*: every shard borrows the
+    // same arrival storage and walks its own index list, so peak memory
+    // is O(trace), not O(shards × trace).
     let trace = generate_trace(cfg);
-    let mut per_shard_trace: Vec<Vec<ArrivalEvent>> = vec![Vec::new(); num_shards];
-    for a in &trace {
-        per_shard_trace[shard_of_flow[a.flow.as_usize()]].push(*a);
-    }
+    let idx = partition_indices(&trace, &shard_of_flow, num_shards);
+    let trace = &trace[..];
 
     let shard_reports: Vec<PipelineReport> = if parallel && num_shards > 1 {
         thread::scope(|sc| {
@@ -853,9 +622,11 @@ where
                 .iter_mut()
                 .zip(policies.iter_mut())
                 .zip(scheds.iter_mut())
-                .zip(per_shard_trace.iter())
-                .map(|(((qm, policy), sched), tr)| {
-                    sc.spawn(move || run_shard_loop(cfg, tr, qm, policy, sched, per_shard_gbps))
+                .zip(idx.iter())
+                .map(|(((qm, policy), sched), ix)| {
+                    sc.spawn(move || {
+                        run_trace_shard(cfg, trace, ix, qm, policy, sched, per_shard_gbps)
+                    })
                 })
                 .collect();
             handles
@@ -869,9 +640,9 @@ where
             .iter_mut()
             .zip(policies.iter_mut())
             .zip(scheds.iter_mut())
-            .zip(per_shard_trace.iter())
-            .map(|(((qm, policy), sched), tr)| {
-                run_shard_loop(cfg, tr, qm, policy, sched, per_shard_gbps)
+            .zip(idx.iter())
+            .map(|(((qm, policy), sched), ix)| {
+                run_trace_shard(cfg, trace, ix, qm, policy, sched, per_shard_gbps)
             })
             .collect()
     };

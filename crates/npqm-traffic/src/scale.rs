@@ -33,12 +33,12 @@
 //! [`ShardedQueueManager::verify`] pass.
 
 use crate::flows::FlowMix;
+use crate::service::PacketStream;
 use crate::size::SizeDistribution;
 use npqm_core::policy::DynamicThreshold;
 use npqm_core::shard::{ShardedAdmission, ShardedQueueManager};
 use npqm_core::timing::{CommandCost, MemoryChannels, PaperTiming, TimingConfig};
 use npqm_core::{Command, FlowId, Outcome, QmConfig};
-use npqm_sim::rng::Xoshiro256pp;
 use npqm_sim::time::Picos;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -128,24 +128,16 @@ impl ShardScaleConfig {
 pub const TABLE8_BANKS: [u32; 5] = [1, 2, 4, 8, 16];
 
 /// One round's offered arrivals: Zipf flow, IMIX size, and a marker byte
-/// stamped into the first payload byte. [`run_shard_scale`] and
-/// [`run_memory_scale`] both draw through this one function, so their
-/// offered traces are identical by construction — the comparability
-/// between `table7` and `table8` rests on it.
-fn round_arrivals(
-    cfg: &ShardScaleConfig,
-    mix: &FlowMix,
-    sizes: &SizeDistribution,
-    rng: &mut Xoshiro256pp,
-    seq: &mut u64,
-) -> Vec<(FlowId, Vec<u8>)> {
+/// stamped into the first payload byte, drawn through the workspace-wide
+/// [`PacketStream`] (flow, then size; marker = sequence number).
+/// [`run_shard_scale`] and [`run_memory_scale`] both draw through this
+/// one function, so their offered traces are identical by construction —
+/// the comparability between `table7` and `table8` rests on it.
+fn round_arrivals(cfg: &ShardScaleConfig, stream: &mut PacketStream<'_>) -> Vec<(FlowId, Vec<u8>)> {
     (0..cfg.packets_per_round)
         .map(|_| {
-            let flow = mix.sample(rng);
-            let size = sizes.sample(rng) as usize;
-            let marker = *seq as u8;
-            *seq += 1;
-            let mut data = vec![0xC3u8; size];
+            let (flow, size, marker) = stream.next_packet();
+            let mut data = vec![0xC3u8; size as usize];
             data[0] = marker;
             (flow, data)
         })
@@ -307,7 +299,9 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize, threads: usize) ->
     let mut adm = ShardedAdmission::from_fn(shards, |_| DynamicThreshold::new(cfg.alpha));
     let mix = FlowMix::zipf(cfg.flows, cfg.zipf_exponent);
     let sizes = SizeDistribution::Imix;
-    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+    // Raw `cfg.seed` (no draw-seed mixing): the historical table7/table8
+    // streams predate [`PacketStream`] and must stay bit-identical.
+    let mut stream = PacketStream::new(&mix, &sizes, cfg.seed);
 
     assert!(threads > 0, "need at least one worker thread");
     let mut row = ShardScaleRow {
@@ -335,12 +329,11 @@ pub fn run_shard_scale(cfg: &ShardScaleConfig, shards: usize, threads: usize) ->
     let mut ledger: Vec<VecDeque<LedgerSlot>> = (0..cfg.flows).map(|_| VecDeque::new()).collect();
     let mut reasm: Vec<Reassembly> = vec![Reassembly::default(); cfg.flows as usize];
     let seg_bytes = cfg.segment_bytes as usize;
-    let mut seq = 0u64;
 
     let wall = Instant::now();
     for _ in 0..cfg.rounds {
         // --- offered batch: Zipf flows, IMIX sizes, marker-stamped ---
-        let arrivals_owned = round_arrivals(cfg, &mix, &sizes, &mut rng, &mut seq);
+        let arrivals_owned = round_arrivals(cfg, &mut stream);
         let arrivals: Vec<(FlowId, &[u8])> = arrivals_owned
             .iter()
             .map(|(f, d)| (*f, d.as_slice()))
@@ -599,7 +592,7 @@ pub fn run_memory_scale(
     let mut adm = ShardedAdmission::from_fn(shards, |_| DynamicThreshold::new(cfg.alpha));
     let mix = FlowMix::zipf(cfg.flows, cfg.zipf_exponent);
     let sizes = SizeDistribution::Imix;
-    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+    let mut stream = PacketStream::new(&mix, &sizes, cfg.seed);
     assert!(threads > 0, "need at least one worker thread");
 
     let mut row = MemoryScaleRow {
@@ -627,12 +620,11 @@ pub fn run_memory_scale(
     };
     let mut totals = CommandCost::default();
     let seg_bytes = cfg.segment_bytes as usize;
-    let mut seq = 0u64;
 
     for _ in 0..cfg.rounds {
         // Offered batch: `round_arrivals` guarantees the identical trace
         // (order, flows, sizes, payloads) to `run_shard_scale`.
-        let arrivals_owned = round_arrivals(cfg, &mix, &sizes, &mut rng, &mut seq);
+        let arrivals_owned = round_arrivals(cfg, &mut stream);
         let arrivals: Vec<(FlowId, &[u8])> = arrivals_owned
             .iter()
             .map(|(f, d)| (*f, d.as_slice()))

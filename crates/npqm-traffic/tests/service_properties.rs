@@ -1,0 +1,157 @@
+//! Property tests for the streaming service's epoch-windowed stats.
+//!
+//! The windows are the service's *only* online view of a run, so they
+//! must be an exact decomposition of the end-of-run totals — a window
+//! that double-counts or leaks a packet would make the live feed lie
+//! relative to the final report. These properties drive random small
+//! service configurations through [`run_service`] and check that every
+//! windowed counter reconciles exactly (no tolerance) with the
+//! aggregate, and that the per-window latency quantiles are monotone.
+
+use npqm_core::policy::DynamicThreshold;
+use npqm_core::sched::DeficitRoundRobin;
+use npqm_sim::time::Picos;
+use npqm_traffic::service::{run_service, ServiceConfig, ServiceReport};
+use proptest::prelude::*;
+
+/// Random small steady-state scenario: the `steady_demo` engine with
+/// randomized seed, topology, lane capacity, epoch width, duration and
+/// optional packet budget. Small enough that one run is a few
+/// milliseconds of wall clock.
+fn small_service_config() -> impl Strategy<Value = ServiceConfig> {
+    (
+        (0u64..1_000, 1usize..4, 1usize..4, 4usize..65), // seed, shards, generators, ring
+        (50u64..401, 200u64..1_501, 0u64..450),          // epoch µs, duration µs, budget
+    )
+        .prop_map(
+            |((seed, shards, generators, ring), (epoch_us, duration_us, budget))| {
+                let mut cfg = ServiceConfig::steady_demo(seed);
+                cfg.shards = shards;
+                cfg.generators = generators;
+                cfg.ring_capacity = ring;
+                cfg.epoch = Picos::from_micros(epoch_us);
+                cfg.duration = Picos::from_micros(duration_us);
+                // Values below 50 mean "no budget" — about an 11% draw —
+                // so both the duration-bound and budget-bound stop paths
+                // get exercised.
+                cfg.packet_budget = if budget < 50 { None } else { Some(budget) };
+                cfg
+            },
+        )
+}
+
+fn run(cfg: &ServiceConfig, threads: usize) -> ServiceReport {
+    let flows = cfg.mix.flows() as usize;
+    run_service(
+        cfg,
+        threads,
+        |_| DynamicThreshold::new(2.0),
+        move |_| DeficitRoundRobin::new(vec![1518; flows]),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every windowed counter sums exactly to its end-of-run total:
+    /// the windows partition the run with nothing counted twice and
+    /// nothing dropped between window boundaries.
+    #[test]
+    fn windows_reconcile_with_totals(cfg in small_service_config()) {
+        let r = run(&cfg, 1);
+        let sum = |f: fn(&npqm_traffic::service::EpochWindow) -> u64| -> u64 {
+            r.windows.iter().map(f).sum()
+        };
+        let a = &r.aggregate;
+        prop_assert_eq!(sum(|w| w.offered_pkts), a.offered_pkts);
+        prop_assert_eq!(sum(|w| w.offered_bytes), a.offered_bytes);
+        prop_assert_eq!(sum(|w| w.dropped_pkts), a.dropped_pkts);
+        prop_assert_eq!(sum(|w| w.evicted_pkts), a.evicted_pkts);
+        prop_assert_eq!(sum(|w| w.delivered_pkts), a.delivered_pkts);
+        prop_assert_eq!(sum(|w| w.delivered_bytes), a.delivered_bytes);
+        // Admission is exactly the complement of policy refusals.
+        prop_assert_eq!(sum(|w| w.admitted_pkts), a.offered_pkts - a.dropped_pkts);
+        // Every delivered packet lands in exactly one window's latency
+        // histogram (overflow bucket included in count()).
+        prop_assert_eq!(
+            sum(|w| w.latency_ns.count()),
+            a.delivered_pkts
+        );
+        // Backpressure stalls are attributed to windows without loss.
+        prop_assert_eq!(sum(|w| w.ring_full_events), r.ring_full_events);
+        // And the run itself conserves packets: the backlog fully
+        // drains, so offered = delivered + dropped + evicted.
+        prop_assert_eq!(
+            a.offered_pkts,
+            a.delivered_pkts + a.dropped_pkts + a.evicted_pkts
+        );
+        for s in &r.shards {
+            prop_assert_eq!(s.residual_pkts, 0);
+        }
+    }
+
+    /// Latency quantiles are monotone within every window, both in the
+    /// merged view and per shard: p50 ≤ p99 ≤ p999 whenever defined.
+    #[test]
+    fn window_quantiles_monotone(cfg in small_service_config()) {
+        let r = run(&cfg, 1);
+        let all = r
+            .windows
+            .iter()
+            .chain(r.shards.iter().flat_map(|s| s.windows.iter()));
+        for w in all {
+            let (p50, p99, p999) = (w.p50_ns(), w.p99_ns(), w.p999_ns());
+            prop_assert!(p50 <= p99, "epoch {}: p50 {:?} > p99 {:?}", w.epoch, p50, p99);
+            prop_assert!(p99 <= p999, "epoch {}: p99 {:?} > p999 {:?}", w.epoch, p99, p999);
+            // A window that delivered nothing has no quantiles at all.
+            if w.delivered_pkts == 0 {
+                prop_assert_eq!(p999, None);
+            }
+        }
+    }
+
+    /// The per-shard windows decompose the merged windows: summing any
+    /// counter across shards for one epoch gives the merged window.
+    #[test]
+    fn shard_windows_decompose_merged(cfg in small_service_config()) {
+        let r = run(&cfg, 1);
+        for w in &r.windows {
+            let shard_sum = |f: fn(&npqm_traffic::service::EpochWindow) -> u64| -> u64 {
+                r.shards
+                    .iter()
+                    .flat_map(|s| s.windows.iter())
+                    .filter(|sw| sw.epoch == w.epoch)
+                    .map(f)
+                    .sum()
+            };
+            prop_assert_eq!(shard_sum(|w| w.offered_pkts), w.offered_pkts);
+            prop_assert_eq!(shard_sum(|w| w.delivered_pkts), w.delivered_pkts);
+            prop_assert_eq!(shard_sum(|w| w.dropped_pkts), w.dropped_pkts);
+            prop_assert_eq!(shard_sum(|w| w.evicted_pkts), w.evicted_pkts);
+            prop_assert_eq!(
+                shard_sum(|w| w.latency_ns.count()),
+                w.latency_ns.count()
+            );
+        }
+    }
+}
+
+/// The reconciliation also holds on the threaded driver (2 threads),
+/// whose deterministic outputs must match the serial run byte for byte.
+#[test]
+fn threaded_windows_match_serial() {
+    let cfg = ServiceConfig::steady_demo(7);
+    let serial = run(&cfg, 1);
+    let threaded = run(&cfg, 2);
+    assert_eq!(serial.epoch_digests, threaded.epoch_digests);
+    assert_eq!(serial.final_digest, threaded.final_digest);
+    assert_eq!(serial.windows.len(), threaded.windows.len());
+    for (a, b) in serial.windows.iter().zip(&threaded.windows) {
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.offered_pkts, b.offered_pkts);
+        assert_eq!(a.delivered_pkts, b.delivered_pkts);
+        assert_eq!(a.dropped_pkts, b.dropped_pkts);
+        assert_eq!(a.evicted_pkts, b.evicted_pkts);
+        assert_eq!(a.p999_ns(), b.p999_ns());
+    }
+}
