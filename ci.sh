@@ -9,11 +9,11 @@
 #   ./ci.sh         # full pipeline: fmt, clippy, docs, tier-1, tables,
 #                   # golden checks, parallel-determinism diff, every
 #                   # example, bench smoke, bench artifacts, bench gate
-#   ./ci.sh quick   # tier-1 (build + test) plus the table6, table9 and
-#                   # table10 golden checks, so even the fast path
-#                   # catches torn-frame, conservation,
-#                   # competitive-ratio and streaming-service
-#                   # regressions
+#   ./ci.sh quick   # tier-1 (build + test) plus the table6, table9,
+#                   # table10 and table11 golden checks, so even the
+#                   # fast path catches torn-frame, conservation,
+#                   # competitive-ratio, streaming-service and
+#                   # QoS-isolation regressions
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -36,6 +36,8 @@ golden_quick() {
     cargo run --release -q -p npqm-bench --bin table9 -- --check
     echo "==> table10 --check (streaming-service gates: reconciliation, online digests)"
     cargo run --release -q -p npqm-bench --bin table10 -- --check
+    echo "==> table11 --check (hierarchical-QoS gates: isolation, work-conservation)"
+    cargo run --release -q -p npqm-bench --bin table11 -- --check
 }
 
 golden_full() {
@@ -55,6 +57,9 @@ golden_full() {
     echo "==> table10 --check at NPQM_THREADS=1 (streaming-service gates, serial leg)"
     NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table10 -- \
         --check --report target/table10-det-threads1.json
+    echo "==> table11 --check at NPQM_THREADS=1 (hierarchical-QoS gates, serial leg)"
+    NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table11 -- \
+        --check --report target/table11-det-threads1.json
 }
 
 # The headline guarantee of the thread-parallel executor: for a fixed
@@ -75,7 +80,10 @@ parallel_determinism() {
     echo "==> parallel-determinism: table10 --check at NPQM_THREADS=4"
     NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table10 -- \
         --check --report target/table10-det-threads4.json
-    for t in table7 table8 table9 table10; do
+    echo "==> parallel-determinism: table11 --check at NPQM_THREADS=4"
+    NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table11 -- \
+        --check --report target/table11-det-threads4.json
+    for t in table7 table8 table9 table10 table11; do
         echo "==> parallel-determinism: diff ${t} threads=1 vs threads=4 reports"
         if ! diff -u "target/${t}-det-threads1.json" "target/${t}-det-threads4.json"; then
             echo "parallel-determinism FAILED: ${t} reports differ between 1 and 4 threads" >&2
@@ -89,12 +97,13 @@ parallel_determinism() {
 # hosted pipeline so the perf trajectory accumulates per commit. These
 # include the wall-clock measurements the determinism reports exclude.
 bench_artifacts() {
-    echo "==> bench artifacts (BENCH_table6/7/8/9/10.json)"
+    echo "==> bench artifacts (BENCH_table6/7/8/9/10/11.json)"
     cargo run --release -q -p npqm-bench --bin table6 -- --json BENCH_table6.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table7 -- --json BENCH_table7.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table8 -- --json BENCH_table8.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table9 -- --json BENCH_table9.json >/dev/null
     cargo run --release -q -p npqm-bench --bin table10 -- --json BENCH_table10.json >/dev/null
+    cargo run --release -q -p npqm-bench --bin table11 -- --json BENCH_table11.json >/dev/null
 }
 
 # Perf-regression gate: the freshly regenerated artifacts must not be
@@ -106,7 +115,7 @@ bench_artifacts() {
 bench_gate() {
     echo "==> bench-gate: extracting committed baselines from HEAD"
     mkdir -p target/bench-baseline
-    for t in table6 table7 table8 table9 table10; do
+    for t in table6 table7 table8 table9 table10 table11; do
         git show "HEAD:BENCH_${t}.json" >"target/bench-baseline/BENCH_${t}.json" 2>/dev/null ||
             rm -f "target/bench-baseline/BENCH_${t}.json"
     done

@@ -4,13 +4,13 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use npqm_core::limits::{BufferManager, FlowLimits};
 use npqm_core::policy::{DropPolicy, DynamicThreshold, LongestQueueDrop};
-use npqm_core::sched::DeficitRoundRobin;
 use npqm_core::{FlowId, QmConfig, QueueManager};
 use npqm_sim::time::Picos;
 use npqm_traffic::arrival::ArrivalProcess;
 use npqm_traffic::flows::FlowMix;
-use npqm_traffic::pipeline::{run_pipeline, PipelineConfig};
+use npqm_traffic::pipeline::PipelineConfig;
 use npqm_traffic::size::SizeDistribution;
+use npqm_traffic::PipelineBuilder;
 use std::hint::black_box;
 
 /// ~50 µs of saturating traffic: every arrival exercises admission, most
@@ -41,29 +41,40 @@ fn bench_pipeline(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1_000));
     group.bench_function("closed_loop_lqd_drr_50us", |b| {
         b.iter(|| {
-            let mut policy = LongestQueueDrop::new(0);
-            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-            black_box(run_pipeline(black_box(&cfg), &mut policy, &mut sched))
+            black_box(
+                PipelineBuilder::new(black_box(&cfg))
+                    .admission(|_| LongestQueueDrop::new(0))
+                    .egress_spec("drr:1518")
+                    .run(),
+            )
         });
     });
     group.bench_function("closed_loop_taildrop_drr_50us", |b| {
         b.iter(|| {
-            let mut policy = BufferManager::new(
-                FlowLimits {
-                    max_bytes: 1024,
-                    max_packets: u32::MAX,
-                },
-                0,
-            );
-            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-            black_box(run_pipeline(black_box(&cfg), &mut policy, &mut sched))
+            black_box(
+                PipelineBuilder::new(black_box(&cfg))
+                    .admission(|_| {
+                        BufferManager::new(
+                            FlowLimits {
+                                max_bytes: 1024,
+                                max_packets: u32::MAX,
+                            },
+                            0,
+                        )
+                    })
+                    .egress_spec("drr:1518")
+                    .run(),
+            )
         });
     });
     group.bench_function("closed_loop_dynthreshold_drr_50us", |b| {
         b.iter(|| {
-            let mut policy = DynamicThreshold::new(2.0);
-            let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-            black_box(run_pipeline(black_box(&cfg), &mut policy, &mut sched))
+            black_box(
+                PipelineBuilder::new(black_box(&cfg))
+                    .admission(|_| DynamicThreshold::new(2.0))
+                    .egress_spec("drr:1518")
+                    .run(),
+            )
         });
     });
     group.finish();

@@ -15,6 +15,7 @@ struct Summary {
     table8: Vec<Table8Out>,
     table9: Vec<npqm_bench::competitive::Table9Row>,
     table10: Table10Out,
+    table11: Table11Out,
     saturation_mpps: f64,
     saturation_gbps: f64,
 }
@@ -36,6 +37,7 @@ impl ToJson for Summary {
             ("table8", self.table8.to_json()),
             ("table9", self.table9.to_json()),
             ("table10", self.table10.to_json()),
+            ("table11", self.table11.to_json()),
             ("saturation_mpps", self.saturation_mpps.to_json()),
             ("saturation_gbps", self.saturation_gbps.to_json()),
         ])
@@ -64,6 +66,37 @@ impl ToJson for Table10Out {
             ("ring_full_events", self.ring_full_events.to_json()),
             ("segments_per_sec", self.segments_per_sec.to_json()),
             ("final_digest", self.final_digest.clone().to_json()),
+        ])
+    }
+}
+
+struct Table11Out {
+    seed: u64,
+    /// Per-tenant delivered bytes: [fair HTB, tenant-0 overload HTB,
+    /// tenant-0 overload flat DRR].
+    tenants: Vec<(u64, u64, u64)>,
+    borrowed_packets: u64,
+    over_ceil_packets: u64,
+}
+
+impl ToJson for Table11Out {
+    fn to_json(&self) -> Json {
+        let tenants: Vec<Json> = self
+            .tenants
+            .iter()
+            .map(|&(fair, over, flat)| {
+                Json::obj([
+                    ("fair_delivered_bytes", fair.to_json()),
+                    ("overload_delivered_bytes", over.to_json()),
+                    ("flat_drr_delivered_bytes", flat.to_json()),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("seed", self.seed.to_json()),
+            ("tenants", Json::Arr(tenants)),
+            ("borrowed_packets", self.borrowed_packets.to_json()),
+            ("over_ceil_packets", self.over_ceil_packets.to_json()),
         ])
     }
 }
@@ -245,12 +278,12 @@ fn main() {
 
     eprintln!("running Table 10 (always-on streaming service)...");
     let svc_cfg = npqm_traffic::service::ServiceConfig::table10();
-    let flows = svc_cfg.mix.flows() as usize;
+    let flows = svc_cfg.mix.flows();
     let svc = npqm_traffic::run_service(
         &svc_cfg,
         npqm_traffic::scale::threads_from_env(),
         |_| npqm_core::policy::DynamicThreshold::new(2.0),
-        move |_| npqm_core::sched::DeficitRoundRobin::new(vec![1518; flows]),
+        move |_| npqm_core::sched::from_spec("drr:1518", flows).expect("static spec"),
     );
     let table10 = Table10Out {
         epochs: svc.epoch_digests.len(),
@@ -261,6 +294,24 @@ fn main() {
         ring_full_events: svc.ring_full_events,
         segments_per_sec: svc.segments_per_sec(),
         final_digest: format!("{:#018x}", svc.final_digest),
+    };
+
+    eprintln!("running Table 11 (hierarchical QoS trunk)...");
+    let t11_seed = 42;
+    let fair = npqm_bench::qos::run_trunk(t11_seed, &npqm_bench::qos::LOAD_FAIR, true);
+    let over = npqm_bench::qos::run_trunk(t11_seed, &npqm_bench::qos::LOAD_OVERLOAD, true);
+    let flat = npqm_bench::qos::run_trunk(t11_seed, &npqm_bench::qos::LOAD_OVERLOAD, false);
+    let wc = npqm_bench::qos::run_work_conservation();
+    let table11 = Table11Out {
+        seed: t11_seed,
+        tenants: npqm_bench::qos::tenant_bytes(&fair)
+            .iter()
+            .zip(npqm_bench::qos::tenant_bytes(&over))
+            .zip(npqm_bench::qos::tenant_bytes(&flat))
+            .map(|((f, o), d)| (f.1, o.1, d.1))
+            .collect(),
+        borrowed_packets: wc.borrowed,
+        over_ceil_packets: wc.over_ceil,
     };
 
     let summary = Summary {
@@ -275,6 +326,7 @@ fn main() {
         table8,
         table9,
         table10,
+        table11,
         saturation_mpps: mpps.get(),
         saturation_gbps: gbps.get(),
     };

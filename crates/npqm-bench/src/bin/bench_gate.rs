@@ -32,7 +32,7 @@ const DEFAULT_TOLERANCE: f64 = 0.15;
 /// scheduler jitter alone exceeds the tolerance at that scale.
 const MIN_WALL_US: f64 = 1000.0;
 
-const DEFAULT_TABLES: [&str; 5] = ["table6", "table7", "table8", "table9", "table10"];
+const DEFAULT_TABLES: [&str; 6] = ["table6", "table7", "table8", "table9", "table10", "table11"];
 
 /// Metric leaves where a larger current value is a regression.
 const LOWER_BETTER: [&str; 1] = ["wall_clock_us"];

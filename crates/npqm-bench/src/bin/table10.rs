@@ -37,7 +37,7 @@
 
 use npqm_bench::json::{service_report_deterministic_json, Json, ToJson};
 use npqm_core::policy::DynamicThreshold;
-use npqm_core::sched::DeficitRoundRobin;
+use npqm_core::sched::from_spec;
 use npqm_traffic::scale::{run_shard_scale, threads_from_env, ShardScaleConfig};
 use npqm_traffic::service::{quiesced_digest, run_service, ServiceConfig, ServiceReport};
 
@@ -65,12 +65,12 @@ fn check(ok: bool, what: &str) {
 }
 
 fn run(cfg: &ServiceConfig, threads: usize) -> ServiceReport {
-    let flows = cfg.mix.flows() as usize;
+    let flows = cfg.mix.flows();
     run_service(
         cfg,
         threads,
         |_| DynamicThreshold::new(2.0),
-        move |_| DeficitRoundRobin::new(vec![1518; flows]),
+        move |_| from_spec("drr:1518", flows).expect("static spec"),
     )
 }
 
@@ -207,7 +207,7 @@ fn check_digest_stability(cfg: &ServiceConfig, r: &ServiceReport, threads: usize
             cfg,
             e,
             |_| DynamicThreshold::new(2.0),
-            |_| DeficitRoundRobin::new(vec![1518; cfg.mix.flows() as usize]),
+            |_| from_spec("drr:1518", cfg.mix.flows()).expect("static spec"),
         );
         check(
             r.epoch_digests[e as usize] == q,

@@ -35,14 +35,12 @@
 
 use npqm_bench::json::{Json, ToJson};
 use npqm_core::policy::DynamicThreshold;
-use npqm_core::sched::DeficitRoundRobin;
-use npqm_traffic::pipeline::{
-    run_sharded_pipeline, run_sharded_pipeline_global_lqd, PipelineConfig, ShardedPipelineReport,
-};
+use npqm_traffic::pipeline::{PipelineConfig, ShardedPipelineReport};
 use npqm_traffic::scale::{
     run_shard_scale, run_shard_sweep, run_thread_sweep, threads_from_env, ShardScaleConfig,
     ShardScaleRow,
 };
+use npqm_traffic::PipelineBuilder;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -89,20 +87,21 @@ fn speedup(rows: &[ShardScaleRow], shards: usize) -> f64 {
 /// `parallel` selects the per-shard-threads execution mode, which is
 /// byte-identical to serial — the determinism report relies on it.
 fn closed_loop(parallel: bool) -> ShardedPipelineReport {
-    run_sharded_pipeline(
-        &PipelineConfig::bursty_overload(42),
-        4,
-        parallel,
-        |_| DynamicThreshold::new(2.0),
-        |_| DeficitRoundRobin::new(vec![1518; 16]),
-    )
+    PipelineBuilder::new(&PipelineConfig::bursty_overload(42))
+        .shards(4)
+        .parallel(parallel)
+        .admission(|_| DynamicThreshold::new(2.0))
+        .egress_spec("drr:1518")
+        .run()
 }
 
 /// The shared-buffer closed loop: one global LQD over all 4 shards.
 fn closed_loop_global() -> ShardedPipelineReport {
-    run_sharded_pipeline_global_lqd(&PipelineConfig::bursty_overload(42), 4, 0, |_| {
-        DeficitRoundRobin::new(vec![1518; 16])
-    })
+    PipelineBuilder::new(&PipelineConfig::bursty_overload(42))
+        .shards(4)
+        .admission_global_lqd(0)
+        .egress_spec("drr:1518")
+        .run()
 }
 
 fn cores() -> usize {

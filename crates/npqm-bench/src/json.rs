@@ -949,13 +949,13 @@ mod tests {
     #[test]
     fn service_report_json_shapes() {
         use npqm_core::policy::DynamicThreshold;
-        use npqm_core::sched::DeficitRoundRobin;
+        use npqm_core::sched::from_spec;
         let cfg = npqm_traffic::service::ServiceConfig::steady_demo(5);
         let r = npqm_traffic::run_service(
             &cfg,
             1,
             |_| DynamicThreshold::new(2.0),
-            |_| DeficitRoundRobin::new(vec![1518; 8]),
+            |_| from_spec("drr:1518", 8).expect("static spec"),
         );
         let full = r.to_json();
         for key in ["wall_clock_us", "ring_full_events", "threads", "windows"] {

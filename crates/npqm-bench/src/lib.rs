@@ -22,6 +22,7 @@
 
 pub mod competitive;
 pub mod json;
+pub mod qos;
 
 pub use json::{Json, ToJson};
 

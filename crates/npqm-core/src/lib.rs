@@ -72,6 +72,10 @@ pub use policy::{
     WorkSizeBalance,
 };
 pub use sar::{Reassembler, Segmenter};
+pub use sched::{
+    DeficitRoundRobin, FlowScheduler, HtbClass, HtbError, HtbScheduler, HtbStats, HtbTreeBuilder,
+    StrictPriority, WeightedRoundRobin,
+};
 pub use shard::parallel::{GlobalDropPolicy, GlobalLqd, GlobalOccupancy};
 pub use shard::{ShardedAdmission, ShardedInvariantReport, ShardedQueueManager};
 pub use stats::{ParallelStats, QmStats};

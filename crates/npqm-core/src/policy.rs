@@ -127,6 +127,33 @@ pub trait DropPolicy {
     }
 }
 
+/// Boxed policies admit like their contents, so `Box<dyn DropPolicy +
+/// Send>` slots into any generic pipeline bound.
+impl<P: DropPolicy + ?Sized> DropPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn offer(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+    ) -> Result<Admission, Refusal> {
+        (**self).offer(qm, flow, packet)
+    }
+
+    fn offer_work(
+        &mut self,
+        qm: &mut QueueManager,
+        flow: FlowId,
+        packet: &[u8],
+        work: u32,
+    ) -> Result<Admission, Refusal> {
+        (**self).offer_work(qm, flow, packet, work)
+    }
+}
+
 /// The PR-1 tail-drop policer as a [`DropPolicy`]: static per-flow caps
 /// plus a global reserve, never evicting queued data.
 impl DropPolicy for BufferManager {

@@ -14,6 +14,17 @@
 //!
 //! Schedulers only *choose* flows; dequeuing stays on the engine, so any
 //! discipline composes with any engine configuration.
+//!
+//! Beyond the flat disciplines, [`htb`] provides a hierarchical token
+//! bucket (class tree with guaranteed/ceil rates, bursts, priorities and
+//! parent borrowing), and [`from_spec`] builds any discipline from a
+//! compact text spec (`"drr"`, `"wrr:4,2,1"`, `"sp"`, `"htb:..."`).
+
+pub mod htb;
+pub mod spec;
+
+pub use htb::{HtbClass, HtbError, HtbScheduler, HtbStats, HtbTreeBuilder};
+pub use spec::{from_spec, SpecError};
 
 use crate::id::FlowId;
 use crate::manager::QueueManager;
@@ -29,6 +40,18 @@ pub trait FlowScheduler {
     /// Informs the discipline that `bytes` were just served from `flow`
     /// (needed by byte-accounting disciplines like DRR).
     fn served(&mut self, flow: FlowId, bytes: usize);
+}
+
+/// Boxed schedulers schedule like their contents, so `Box<dyn
+/// FlowScheduler + Send>` slots into any generic pipeline bound.
+impl<S: FlowScheduler + ?Sized> FlowScheduler for Box<S> {
+    fn next_flow(&mut self, qm: &QueueManager) -> Option<FlowId> {
+        (**self).next_flow(qm)
+    }
+
+    fn served(&mut self, flow: FlowId, bytes: usize) {
+        (**self).served(flow, bytes)
+    }
 }
 
 /// Serves the lowest-indexed non-empty flow first.
@@ -139,16 +162,102 @@ impl FlowScheduler for WeightedRoundRobin {
     }
 }
 
+/// The Shreedhar & Varghese deficit-round-robin selection loop over
+/// abstract slots, shared verbatim by the flat [`DeficitRoundRobin`] and
+/// the per-priority sibling rounds inside [`htb::HtbScheduler`].
+///
+/// The caller supplies two closures: `head(slot)` returns the head-packet
+/// size when the slot is backlogged *and currently eligible* (HTB gates
+/// eligibility on token state; the flat discipline on backlog alone), and
+/// `empty(slot)` reports a drained queue, which forfeits its deficit.
+/// Because both disciplines run this exact loop, a degenerate HTB tree
+/// (every leaf permanently eligible) reproduces flat DRR's selection
+/// sequence byte-for-byte — a property the test suite pins via
+/// `state_digest`.
+#[derive(Debug, Clone)]
+pub(crate) struct DrrCore {
+    quanta: Vec<u32>,
+    deficit: Vec<u64>,
+    cursor: usize,
+    /// Slot currently holding the round (keeps serving while deficit and
+    /// backlog allow, as the algorithm specifies).
+    active: Option<usize>,
+}
+
+impl DrrCore {
+    pub(crate) fn new(quanta: Vec<u32>) -> Self {
+        assert!(!quanta.is_empty(), "need at least one slot");
+        assert!(quanta.iter().all(|&q| q > 0), "quanta must be non-zero");
+        let deficit = vec![0; quanta.len()];
+        DrrCore {
+            quanta,
+            deficit,
+            cursor: 0,
+            active: None,
+        }
+    }
+
+    pub(crate) fn deficit(&self, slot: usize) -> u64 {
+        self.deficit[slot]
+    }
+
+    /// Picks the next slot to serve, or `None` if no slot is eligible.
+    pub(crate) fn next(
+        &mut self,
+        head: impl Fn(usize) -> Option<u64>,
+        empty: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        let n = self.quanta.len();
+        // Keep serving the active slot while it can afford its head packet.
+        if let Some(idx) = self.active {
+            match head(idx) {
+                Some(h) if h <= self.deficit[idx] => return Some(idx),
+                _ => {
+                    if empty(idx) {
+                        self.deficit[idx] = 0; // empty queue forfeits deficit
+                    }
+                    self.active = None;
+                    self.cursor = (idx + 1) % n;
+                }
+            }
+        }
+        // Visit slots round-robin, granting each its quantum, until one can
+        // afford its head packet. Bounded: one quantum grant per slot per
+        // call sequence; after `n` visits with no progress, queues with
+        // backlog will eventually accumulate enough deficit — iterate a
+        // few rounds and bail out if really nothing is ready.
+        for _round in 0..64 {
+            let mut any_backlog = false;
+            for i in 0..n {
+                let idx = (self.cursor + i) % n;
+                let Some(h) = head(idx) else {
+                    continue;
+                };
+                any_backlog = true;
+                self.deficit[idx] += self.quanta[idx] as u64;
+                if h <= self.deficit[idx] {
+                    self.active = Some(idx);
+                    self.cursor = idx;
+                    return Some(idx);
+                }
+            }
+            if !any_backlog {
+                return None;
+            }
+        }
+        None
+    }
+
+    pub(crate) fn served(&mut self, slot: usize, bytes: usize) {
+        self.deficit[slot] = self.deficit[slot].saturating_sub(bytes as u64);
+    }
+}
+
 /// Deficit round robin (Shreedhar & Varghese): byte-accurate fairness with
 /// per-flow quanta.
 #[derive(Debug, Clone)]
 pub struct DeficitRoundRobin {
-    quanta: Vec<u32>,
-    deficit: Vec<u64>,
-    cursor: usize,
-    /// Flow currently holding the round (keeps serving while deficit and
-    /// backlog allow, as the algorithm specifies).
-    active: Option<usize>,
+    core: DrrCore,
 }
 
 impl DeficitRoundRobin {
@@ -159,19 +268,14 @@ impl DeficitRoundRobin {
     /// Panics if `quanta` is empty or any quantum is zero.
     pub fn new(quanta: Vec<u32>) -> Self {
         assert!(!quanta.is_empty(), "need at least one flow");
-        assert!(quanta.iter().all(|&q| q > 0), "quanta must be non-zero");
-        let deficit = vec![0; quanta.len()];
         DeficitRoundRobin {
-            quanta,
-            deficit,
-            cursor: 0,
-            active: None,
+            core: DrrCore::new(quanta),
         }
     }
 
     /// The current deficit counter of `flow` (for tests/monitoring).
     pub fn deficit(&self, flow: FlowId) -> u64 {
-        self.deficit[flow.as_usize()]
+        self.core.deficit(flow.as_usize())
     }
 
     fn head_bytes(qm: &QueueManager, flow: FlowId) -> Option<u64> {
@@ -189,52 +293,16 @@ impl DeficitRoundRobin {
 
 impl FlowScheduler for DeficitRoundRobin {
     fn next_flow(&mut self, qm: &QueueManager) -> Option<FlowId> {
-        let n = self.quanta.len();
-        // Keep serving the active flow while it can afford its head packet.
-        if let Some(idx) = self.active {
-            let flow = FlowId::new(idx as u32);
-            match Self::head_bytes(qm, flow) {
-                Some(head) if head <= self.deficit[idx] => return Some(flow),
-                _ => {
-                    if qm.complete_packets(flow) == 0 {
-                        self.deficit[idx] = 0; // empty queue forfeits deficit
-                    }
-                    self.active = None;
-                    self.cursor = (idx + 1) % n;
-                }
-            }
-        }
-        // Visit flows round-robin, granting each its quantum, until one can
-        // afford its head packet. Bounded: one quantum grant per flow per
-        // call sequence; after `n` visits with no progress, queues with
-        // backlog will eventually accumulate enough deficit — iterate a
-        // few rounds and bail out if really nothing is ready.
-        for _round in 0..64 {
-            let mut any_backlog = false;
-            for i in 0..n {
-                let idx = (self.cursor + i) % n;
-                let flow = FlowId::new(idx as u32);
-                let Some(head) = Self::head_bytes(qm, flow) else {
-                    continue;
-                };
-                any_backlog = true;
-                self.deficit[idx] += self.quanta[idx] as u64;
-                if head <= self.deficit[idx] {
-                    self.active = Some(idx);
-                    self.cursor = idx;
-                    return Some(flow);
-                }
-            }
-            if !any_backlog {
-                return None;
-            }
-        }
-        None
+        self.core
+            .next(
+                |slot| Self::head_bytes(qm, FlowId::new(slot as u32)),
+                |slot| qm.complete_packets(FlowId::new(slot as u32)) == 0,
+            )
+            .map(|slot| FlowId::new(slot as u32))
     }
 
     fn served(&mut self, flow: FlowId, bytes: usize) {
-        let idx = flow.as_usize();
-        self.deficit[idx] = self.deficit[idx].saturating_sub(bytes as u64);
+        self.core.served(flow.as_usize(), bytes);
     }
 }
 

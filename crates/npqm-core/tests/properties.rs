@@ -485,9 +485,7 @@ mod open_tail_props {
 
 mod sched_props {
     use npqm_core::limits::{BufferManager, FlowLimits};
-    use npqm_core::sched::{
-        drain_next, DeficitRoundRobin, FlowScheduler, StrictPriority, WeightedRoundRobin,
-    };
+    use npqm_core::sched::{drain_next, from_spec, WeightedRoundRobin};
     use npqm_core::{FlowId, QmConfig, QueueManager};
     use proptest::prelude::*;
 
@@ -511,7 +509,7 @@ mod sched_props {
         #[test]
         fn schedulers_are_work_conserving(
             pkts in proptest::collection::vec((0u32..4, 1usize..300), 1..40),
-            which in 0u8..3,
+            which in 0u8..4,
         ) {
             let mut qm = engine();
             let mut enqueued: Vec<(u32, usize)> = Vec::new();
@@ -520,11 +518,13 @@ mod sched_props {
                     enqueued.push((flow, len));
                 }
             }
-            let mut sched: Box<dyn FlowScheduler> = match which {
-                0 => Box::new(StrictPriority::new(4)),
-                1 => Box::new(WeightedRoundRobin::new(vec![3, 1, 2, 1])),
-                _ => Box::new(DeficitRoundRobin::new(vec![64, 640, 128, 1518])),
+            let spec = match which {
+                0 => "sp",
+                1 => "wrr:3,1,2,1",
+                2 => "drr:64,640,128,1518",
+                _ => "htb:cap=100;root,rate=100;t,parent=root,rate=25,ceil=100,flows=0-3",
             };
+            let mut sched = from_spec(spec, 4).unwrap();
             let mut served: Vec<(u32, usize)> = Vec::new();
             while let Some((f, pkt)) = drain_next(&mut qm, sched.as_mut()) {
                 served.push((f.index(), pkt.len()));

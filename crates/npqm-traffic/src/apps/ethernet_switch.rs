@@ -1,10 +1,16 @@
 //! 802.1p/802.1Q-aware Ethernet switching over per-flow queues.
 //!
 //! Each output port owns eight class-of-service queues (the 802.1p
-//! priorities); the egress scheduler serves them in strict priority. The
+//! priorities); by default the egress scheduler serves them in strict
+//! priority. A port can instead be turned into a **multi-tenant trunk**
+//! with [`QosSwitch::set_port_scheduler`]: any [`FlowScheduler`] over
+//! that port's class flows — typically an HTB tree from
+//! [`QosSwitch::htb_trunk`] giving each class a guaranteed share of the
+//! trunk, a ceiling and borrowing — decides which class transmits. The
 //! MAC table is learned from source addresses, as in any L2 switch.
 
 use crate::packet::{EthernetFrame, MacAddr};
+use npqm_core::sched::{FlowScheduler, HtbClass, HtbError, HtbScheduler, HtbTreeBuilder};
 use npqm_core::{QmConfig, QueueError, QueueManager};
 use std::collections::HashMap;
 
@@ -31,14 +37,32 @@ pub const NUM_CLASSES: u32 = 8;
 /// assert!(sw.tx(1)?.is_some());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
 pub struct QosSwitch {
     engine: QueueManager,
     mac_table: HashMap<MacAddr, u32>,
     ports: u32,
+    /// Per-port egress discipline; ports without an entry use the legacy
+    /// strict 802.1p order.
+    port_sched: HashMap<u32, Box<dyn FlowScheduler + Send>>,
     flooded: u64,
     forwarded: u64,
     dropped: u64,
+}
+
+impl std::fmt::Debug for QosSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QosSwitch")
+            .field("ports", &self.ports)
+            .field("mac_table", &self.mac_table)
+            .field(
+                "scheduled_ports",
+                &self.port_sched.keys().collect::<Vec<_>>(),
+            )
+            .field("flooded", &self.flooded)
+            .field("forwarded", &self.forwarded)
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
+    }
 }
 
 impl QosSwitch {
@@ -62,10 +86,51 @@ impl QosSwitch {
             engine: QueueManager::new(cfg),
             mac_table: HashMap::new(),
             ports,
+            port_sched: HashMap::new(),
             flooded: 0,
             forwarded: 0,
             dropped: 0,
         })
+    }
+
+    /// Installs an egress discipline on `port`, replacing the default
+    /// strict 802.1p order. The scheduler must cover (only) this port's
+    /// eight class flows — [`QosSwitch::htb_trunk`] builds a suitable
+    /// HTB tree.
+    pub fn set_port_scheduler(&mut self, port: u32, sched: Box<dyn FlowScheduler + Send>) {
+        self.port_sched.insert(port, sched);
+    }
+
+    /// Builds the multi-tenant trunk tree for `port`: one HTB leaf per
+    /// 802.1p class under a full-rate trunk class, with
+    /// `guarantees[class]` as each class's assured share of `capacity`
+    /// and a ceiling of the whole trunk (idle guarantees are borrowed,
+    /// never wasted). Higher 802.1p classes get higher HTB priority for
+    /// their guaranteed traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`HtbError`] for invalid shares (e.g. a
+    /// guarantee above `capacity`).
+    pub fn htb_trunk(
+        &self,
+        port: u32,
+        capacity: u64,
+        guarantees: [u64; NUM_CLASSES as usize],
+    ) -> Result<HtbScheduler, HtbError> {
+        let mut tree = HtbTreeBuilder::new(capacity).class("trunk", None, HtbClass::rate(capacity));
+        for (class, &rate) in guarantees.iter().enumerate() {
+            let class = class as u32;
+            // 802.1p class 7 is the most urgent -> HTB priority 0.
+            let prio = (NUM_CLASSES - 1 - class) as u8;
+            tree = tree.leaf(
+                &format!("class{class}"),
+                Some("trunk"),
+                self.flow(port, class),
+                HtbClass::rate(rate).ceil(capacity).priority(prio),
+            );
+        }
+        tree.build()
     }
 
     /// The flow id of `(port, class)`.
@@ -120,13 +185,24 @@ impl QosSwitch {
         Ok(())
     }
 
-    /// Transmits the next frame from `port` in strict 802.1p priority
-    /// order (class 7 first). Returns `None` when the port is idle.
+    /// Transmits the next frame from `port`: through the installed
+    /// [`FlowScheduler`] if one is set (see
+    /// [`set_port_scheduler`](Self::set_port_scheduler)), otherwise in
+    /// strict 802.1p priority order (class 7 first). Returns `None` when
+    /// the port is idle.
     ///
     /// # Errors
     ///
     /// Propagates unexpected engine errors.
     pub fn tx(&mut self, port: u32) -> Result<Option<Vec<u8>>, QueueError> {
+        if let Some(sched) = self.port_sched.get_mut(&port) {
+            let Some(flow) = sched.next_flow(&self.engine) else {
+                return Ok(None);
+            };
+            let pkt = self.engine.dequeue_packet(flow)?;
+            sched.served(flow, pkt.len());
+            return Ok(Some(pkt));
+        }
         for class in (0..NUM_CLASSES).rev() {
             let flow = self.flow(port, class);
             if self.engine.complete_packets(flow) > 0 {
@@ -225,5 +301,35 @@ mod tests {
     #[test]
     fn zero_ports_rejected() {
         assert!(QosSwitch::new(0).is_err());
+    }
+
+    #[test]
+    fn htb_trunk_guarantees_share_under_overload() {
+        let mut sw = QosSwitch::new(2).unwrap();
+        // Two tenant classes on the trunk: class 1 guaranteed 25%,
+        // class 5 guaranteed 75%, both allowed up to the whole trunk.
+        let mut guarantees = [0u64; NUM_CLASSES as usize];
+        guarantees[1] = 250;
+        guarantees[5] = 750;
+        let tree = sw.htb_trunk(1, 1000, guarantees).unwrap();
+        sw.set_port_scheduler(1, Box::new(tree));
+        sw.rx(1, &frame(0x01, 0xAA, 0, false)).unwrap(); // learn AA @ 1
+        for _ in 0..60 {
+            sw.rx(0, &frame(0xAA, 0x02, 1, true)).unwrap();
+            sw.rx(0, &frame(0xAA, 0x03, 5, true)).unwrap();
+        }
+        let mut served = [0u32; NUM_CLASSES as usize];
+        for _ in 0..80 {
+            let out = sw.tx(1).unwrap().unwrap();
+            let pcp = EthernetFrame::parse(&out).unwrap().vlan.unwrap().pcp;
+            served[pcp as usize] += 1;
+        }
+        // Equal frame sizes, so service counts track the 3:1 shares.
+        let ratio = served[5] as f64 / served[1] as f64;
+        assert!((2.2..3.8).contains(&ratio), "ratio {ratio} ({served:?})");
+        // Once class 5 drains, class 1 borrows the whole trunk.
+        while sw.tx(1).unwrap().is_some() {}
+        assert_eq!(sw.backlog(1), 0, "work conservation on the trunk");
+        sw.engine().verify().unwrap();
     }
 }

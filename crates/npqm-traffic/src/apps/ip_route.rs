@@ -5,6 +5,7 @@
 //! then enqueues the packet on the queue of its next hop.
 
 use crate::packet::{internet_checksum, Ipv4Packet};
+use npqm_core::sched::{FlowScheduler, HtbClass, HtbError, HtbScheduler, HtbTreeBuilder};
 use npqm_core::{FlowId, QmConfig, QueueError, QueueManager};
 
 /// A binary longest-prefix-match trie over IPv4 prefixes.
@@ -135,13 +136,26 @@ impl From<QueueError> for RouteError {
 /// assert_eq!(parsed.ttl, 63);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
 pub struct Router {
     lpm: Lpm,
     engine: QueueManager,
     next_hops: u32,
+    uplink: Option<Box<dyn FlowScheduler + Send>>,
     routed: u64,
     dropped: u64,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("lpm", &self.lpm)
+            .field("engine", &self.engine)
+            .field("next_hops", &self.next_hops)
+            .field("uplink", &self.uplink.is_some())
+            .field("routed", &self.routed)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
 }
 
 impl Router {
@@ -160,9 +174,76 @@ impl Router {
             lpm,
             engine: QueueManager::new(cfg),
             next_hops,
+            uplink: None,
             routed: 0,
             dropped: 0,
         })
+    }
+
+    /// Installs a [`FlowScheduler`] over the next-hop queues, turning them
+    /// into per-customer classes drained through [`Router::poll_uplink`].
+    pub fn set_uplink_scheduler(&mut self, sched: Box<dyn FlowScheduler + Send>) {
+        self.uplink = Some(sched);
+    }
+
+    /// Builds an HTB class tree for the uplink: one leaf per next hop under
+    /// a shared "uplink" root, each guaranteed `guarantees[nh]` of
+    /// `capacity` and allowed to borrow up to the whole link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HtbError`] for malformed shares (e.g. zero capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guarantees.len()` differs from the next-hop count.
+    pub fn htb_uplink(&self, capacity: u64, guarantees: &[u64]) -> Result<HtbScheduler, HtbError> {
+        assert_eq!(
+            guarantees.len(),
+            self.next_hops as usize,
+            "one guarantee per next hop"
+        );
+        let mut tree =
+            HtbTreeBuilder::new(capacity).class("uplink", None, HtbClass::rate(capacity));
+        for (nh, &rate) in guarantees.iter().enumerate() {
+            tree = tree.leaf(
+                &format!("customer{nh}"),
+                Some("uplink"),
+                FlowId::new(nh as u32),
+                HtbClass::rate(rate).ceil(capacity),
+            );
+        }
+        tree.build()
+    }
+
+    /// Pops the next packet across *all* next hops, chosen by the installed
+    /// uplink scheduler (falls back to lowest-numbered backlogged hop when
+    /// no scheduler is set). Returns `(next_hop, packet)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unexpected engine errors.
+    pub fn poll_uplink(&mut self) -> Result<Option<(u32, Vec<u8>)>, RouteError> {
+        let flow = match &mut self.uplink {
+            Some(sched) => match sched.next_flow(&self.engine) {
+                Some(f) => f,
+                None => return Ok(None),
+            },
+            None => {
+                match (0..self.next_hops)
+                    .map(FlowId::new)
+                    .find(|&f| self.engine.complete_packets(f) > 0)
+                {
+                    Some(f) => f,
+                    None => return Ok(None),
+                }
+            }
+        };
+        let pkt = self.engine.dequeue_packet(flow)?;
+        if let Some(sched) = &mut self.uplink {
+            sched.served(flow, pkt.len());
+        }
+        Ok(Some((flow.index(), pkt)))
     }
 
     /// Routes one packet: LPM, TTL decrement, incremental checksum patch,
@@ -306,5 +387,59 @@ mod tests {
         assert_eq!(b.dst, [10, 0, 0, 2]);
         assert!(r.poll(0).unwrap().is_none());
         assert!(r.poll(1).unwrap().is_some());
+    }
+
+    #[test]
+    fn htb_uplink_serves_customers_by_guarantee() {
+        let big = |dst| {
+            Ipv4Packet {
+                src: [1, 1, 1, 1],
+                dst,
+                protocol: 6,
+                ttl: 10,
+                payload: vec![0xEE; 1380], // MTU-sized so bursts deplete
+            }
+            .to_bytes()
+        };
+        let mut lpm = Lpm::new();
+        lpm.insert([10, 0, 0, 0], 8, 0);
+        lpm.insert([20, 0, 0, 0], 8, 1);
+        let mut r = Router::new(lpm, 2).unwrap();
+        let tree = r.htb_uplink(1000, &[750, 250]).unwrap();
+        r.set_uplink_scheduler(Box::new(tree));
+        for _ in 0..300 {
+            r.route(&big([10, 0, 0, 1])).unwrap();
+            r.route(&big([20, 0, 0, 1])).unwrap();
+        }
+        // Warm up past the initial token bursts, then measure steady state.
+        for _ in 0..100 {
+            r.poll_uplink().unwrap().unwrap();
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..200 {
+            let (nh, _) = r.poll_uplink().unwrap().unwrap();
+            served[nh as usize] += 1;
+        }
+        // Equal packet sizes, so service counts track the 3:1 guarantees.
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((2.4..3.6).contains(&ratio), "ratio {ratio} ({served:?})");
+        // Work conservation: every remaining packet still drains.
+        let mut remaining = 0;
+        while r.poll_uplink().unwrap().is_some() {
+            remaining += 1;
+        }
+        assert_eq!(remaining, 600 - 300);
+        r.engine().verify().unwrap();
+    }
+
+    #[test]
+    fn poll_uplink_without_scheduler_drains_in_hop_order() {
+        let mut lpm = Lpm::new();
+        lpm.insert([10, 0, 0, 0], 8, 1);
+        let mut r = Router::new(lpm, 2).unwrap();
+        assert!(r.poll_uplink().unwrap().is_none());
+        r.route(&pkt([10, 0, 0, 1], 10)).unwrap();
+        assert_eq!(r.poll_uplink().unwrap().unwrap().0, 1);
+        assert!(r.poll_uplink().unwrap().is_none());
     }
 }

@@ -1,0 +1,329 @@
+//! One entry point for every closed-loop pipeline shape.
+//!
+//! The pipeline grew four run functions — dense, memory-timed, sharded,
+//! globally-admitted — with overlapping parameter lists. This module
+//! collapses the zoo into a single [`PipelineBuilder`]: pick the shard
+//! count, threading, admission flavour, timing model and egress
+//! discipline independently, then [`run`](PipelineBuilder::run). Every
+//! combination returns the same
+//! `ShardedPipelineReport`
+//! (a dense run is simply one shard), so downstream reporting code is
+//! shape-agnostic.
+//!
+//! Determinism contracts are inherited, not re-implemented: one shard is
+//! byte-identical to the dense loop, and `parallel(true)` is
+//! byte-identical to serial at any thread count.
+
+use crate::pipeline::{
+    assemble_sharded_report, dense_impl, global_lqd_impl, sharded_impl, timed_impl, PipelineConfig,
+    ShardedPipelineReport,
+};
+use npqm_core::policy::{DropPolicy, DynamicThreshold};
+use npqm_core::sched::{from_spec, FlowScheduler, HtbScheduler};
+use npqm_core::timing::TimingConfig;
+
+type PolicyFactory = Box<dyn FnMut(usize) -> Box<dyn DropPolicy + Send>>;
+type SchedFactory = Box<dyn FnMut(usize) -> Box<dyn FlowScheduler + Send>>;
+
+enum AdmissionSel {
+    Local(PolicyFactory),
+    GlobalLqd { reserve_segments: u32 },
+}
+
+enum TimingSel {
+    Uncosted,
+    Paper(TimingConfig),
+}
+
+enum EgressSel {
+    Spec(String),
+    Factory(SchedFactory),
+    Htb(Box<HtbScheduler>),
+}
+
+/// Builds and runs one closed-loop pipeline; see the [module docs](self).
+///
+/// Defaults: one shard, serial, shard-local
+/// [`DynamicThreshold`]`(2.0)` admission, uncosted (line-rate) egress
+/// timing, flat per-flow DRR egress with a 1518-byte quantum.
+///
+/// # Example
+///
+/// ```
+/// use npqm_core::policy::LongestQueueDrop;
+/// use npqm_traffic::{PipelineBuilder, PipelineConfig};
+///
+/// let cfg = PipelineConfig::small_demo(7);
+/// let r = PipelineBuilder::new(&cfg)
+///     .shards(2)
+///     .parallel(true) // byte-identical to serial
+///     .admission(|_| LongestQueueDrop::new(0))
+///     .egress_spec("wrr:4,2,1,1")
+///     .run();
+/// assert_eq!(r.aggregate.integrity_violations, 0);
+/// assert_eq!(
+///     r.aggregate.offered_pkts,
+///     r.aggregate.delivered_pkts + r.aggregate.dropped_pkts + r.aggregate.evicted_pkts
+/// );
+/// ```
+///
+/// A hierarchical (HTB) egress drops in the same way — build a class
+/// tree and hand it to [`egress_htb`](PipelineBuilder::egress_htb), or
+/// describe it inline:
+///
+/// ```
+/// use npqm_traffic::{PipelineBuilder, PipelineConfig};
+///
+/// let cfg = PipelineConfig::small_demo(7);
+/// let r = PipelineBuilder::new(&cfg)
+///     .egress_spec("htb:cap=1000;root,rate=1000;t,parent=root,rate=250,ceil=1000,flows=0-3")
+///     .run();
+/// assert_eq!(r.aggregate.integrity_violations, 0);
+/// ```
+pub struct PipelineBuilder {
+    cfg: PipelineConfig,
+    shards: usize,
+    parallel: bool,
+    admission: AdmissionSel,
+    timing: TimingSel,
+    egress: EgressSel,
+}
+
+impl PipelineBuilder {
+    /// Starts a builder over `cfg` with the default shape (see the type
+    /// docs).
+    pub fn new(cfg: &PipelineConfig) -> Self {
+        PipelineBuilder {
+            cfg: cfg.clone(),
+            shards: 1,
+            parallel: false,
+            admission: AdmissionSel::Local(Box::new(|_| Box::new(DynamicThreshold::new(2.0)))),
+            timing: TimingSel::Uncosted,
+            egress: EgressSel::Spec("drr:1518".to_string()),
+        }
+    }
+
+    /// Number of engine shards (1 = the dense pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Runs each shard's loop on its own worker thread. Byte-identical
+    /// to serial; ignored at one shard or under global admission (the
+    /// coupled loop is inherently serial).
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Shard-local admission: `mk_policy(shard)` builds each shard's
+    /// [`DropPolicy`].
+    #[must_use]
+    pub fn admission<P, F>(mut self, mut mk_policy: F) -> Self
+    where
+        P: DropPolicy + Send + 'static,
+        F: FnMut(usize) -> P + 'static,
+    {
+        self.admission = AdmissionSel::Local(Box::new(move |shard| Box::new(mk_policy(shard))));
+        self
+    }
+
+    /// Global shared-buffer admission: one
+    /// [`GlobalLqd`](npqm_core::GlobalLqd) budget over all shards (an
+    /// arrival may push out the globally longest queue on any shard).
+    /// The run is serial regardless of [`parallel`](Self::parallel).
+    #[must_use]
+    pub fn admission_global_lqd(mut self, reserve_segments: u32) -> Self {
+        self.admission = AdmissionSel::GlobalLqd { reserve_segments };
+        self
+    }
+
+    /// Memory-derived egress timing: each packet's service time is the
+    /// modeled ZBT/DDR cost of its dequeue access stream under `timing`
+    /// (see [`npqm_core::timing`]); `cfg.egress_gbps` is ignored.
+    /// Requires one shard and shard-local admission.
+    #[must_use]
+    pub fn timing_paper(mut self, timing: TimingConfig) -> Self {
+        self.timing = TimingSel::Paper(timing);
+        self
+    }
+
+    /// Egress discipline from a [`from_spec`] string (`"drr"`, `"sp"`,
+    /// `"wrr:4,2,1"`, `"htb:..."`), validated against the flow count
+    /// immediately; each shard gets an independent instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not parse for this config's flow count.
+    #[must_use]
+    pub fn egress_spec(mut self, spec: &str) -> Self {
+        let flows = self.cfg.mix.flows();
+        if let Err(e) = from_spec(spec, flows) {
+            panic!("egress_spec: {e}");
+        }
+        self.egress = EgressSel::Spec(spec.to_string());
+        self
+    }
+
+    /// Egress discipline from a factory: `mk_sched(shard)` builds each
+    /// shard's [`FlowScheduler`].
+    #[must_use]
+    pub fn egress<S, F>(mut self, mut mk_sched: F) -> Self
+    where
+        S: FlowScheduler + Send + 'static,
+        F: FnMut(usize) -> S + 'static,
+    {
+        self.egress = EgressSel::Factory(Box::new(move |shard| Box::new(mk_sched(shard))));
+        self
+    }
+
+    /// Hierarchical (HTB) egress: each shard drains through an
+    /// independent clone of `tree` (fresh ledgers, same classes). Leaves
+    /// must cover every flow the mix can draw, or packets on uncovered
+    /// flows would never be scheduled.
+    #[must_use]
+    pub fn egress_htb(mut self, tree: HtbScheduler) -> Self {
+        self.egress = EgressSel::Htb(Box::new(tree));
+        self
+    }
+
+    /// Runs the configured pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations (paper timing with more than one
+    /// shard or with global admission) and on the underlying loops'
+    /// invalid-config conditions (non-positive egress rate, flow mix
+    /// outside the engine's flow table, empty per-shard buffer).
+    pub fn run(self) -> ShardedPipelineReport {
+        let flows = self.cfg.mix.flows();
+        let mut mk_sched: SchedFactory = match self.egress {
+            EgressSel::Spec(spec) => Box::new(move |_| {
+                from_spec(&spec, flows).expect("spec was validated in egress_spec")
+            }),
+            EgressSel::Factory(f) => f,
+            EgressSel::Htb(tree) => Box::new(move |_| Box::new((*tree).clone())),
+        };
+        match self.timing {
+            TimingSel::Paper(timing) => {
+                assert_eq!(
+                    self.shards, 1,
+                    "memory-derived timing models one engine's channel; use shards(1)"
+                );
+                let AdmissionSel::Local(mut mk_policy) = self.admission else {
+                    panic!("memory-derived timing supports shard-local admission only");
+                };
+                let mut policy = mk_policy(0);
+                let mut sched = mk_sched(0);
+                let report = timed_impl(&self.cfg, &mut policy, &mut sched, &timing);
+                assemble_sharded_report(vec![report], vec![0; flows as usize], flows)
+            }
+            TimingSel::Uncosted => match self.admission {
+                AdmissionSel::Local(mk_policy) if self.shards == 1 && !self.parallel => {
+                    // One shard runs the dense loop directly (pinned
+                    // byte-identical to the 1-shard trace replay).
+                    let mut mk_policy = mk_policy;
+                    let mut policy = mk_policy(0);
+                    let mut sched = mk_sched(0);
+                    let report = dense_impl(&self.cfg, &mut policy, &mut sched);
+                    assemble_sharded_report(vec![report], vec![0; flows as usize], flows)
+                }
+                AdmissionSel::Local(mk_policy) => {
+                    sharded_impl(&self.cfg, self.shards, self.parallel, mk_policy, mk_sched)
+                }
+                AdmissionSel::GlobalLqd { reserve_segments } => {
+                    global_lqd_impl(&self.cfg, self.shards, reserve_segments, mk_sched)
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npqm_core::policy::LongestQueueDrop;
+    use npqm_core::sched::DeficitRoundRobin;
+
+    #[test]
+    fn defaults_match_the_dense_pipeline() {
+        let cfg = PipelineConfig::bursty_overload(11);
+        let built = PipelineBuilder::new(&cfg).run();
+        let mut policy = DynamicThreshold::new(2.0);
+        let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
+        let dense = dense_impl(&cfg, &mut policy, &mut sched);
+        assert_eq!(format!("{:?}", built.aggregate), format!("{dense:?}"));
+        assert_eq!(built.shards.len(), 1);
+        assert_eq!(built.shard_of_flow, vec![0; 16]);
+    }
+
+    #[test]
+    fn sharded_builder_matches_the_sharded_runner() {
+        let cfg = PipelineConfig::bursty_overload(12);
+        let built = PipelineBuilder::new(&cfg)
+            .shards(4)
+            .parallel(true)
+            .admission(|_| DynamicThreshold::new(2.0))
+            .egress_spec("drr:1518")
+            .run();
+        let direct = sharded_impl(
+            &cfg,
+            4,
+            false,
+            |_| DynamicThreshold::new(2.0),
+            |_| DeficitRoundRobin::new(vec![1518; 16]),
+        );
+        assert_eq!(format!("{built:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn global_admission_matches_the_global_runner() {
+        let cfg = PipelineConfig::bursty_overload(13);
+        let built = PipelineBuilder::new(&cfg)
+            .shards(4)
+            .admission_global_lqd(0)
+            .run();
+        let direct = global_lqd_impl(&cfg, 4, 0, |_| DeficitRoundRobin::new(vec![1518; 16]));
+        assert_eq!(format!("{built:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn paper_timing_runs_and_reconciles() {
+        let cfg = PipelineConfig::small_demo(9);
+        let r = PipelineBuilder::new(&cfg)
+            .admission(|_| LongestQueueDrop::new(0))
+            .timing_paper(TimingConfig::paper(8))
+            .run();
+        let a = &r.aggregate;
+        assert_eq!(a.integrity_violations, 0);
+        assert_eq!(
+            a.offered_pkts,
+            a.delivered_pkts + a.dropped_pkts + a.evicted_pkts
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "egress_spec")]
+    fn bad_spec_fails_fast_at_build_time() {
+        let cfg = PipelineConfig::small_demo(1);
+        let _ = PipelineBuilder::new(&cfg).egress_spec("wrr:9,9");
+    }
+
+    #[test]
+    #[should_panic(expected = "shard-local admission")]
+    fn paper_timing_rejects_global_admission() {
+        let cfg = PipelineConfig::small_demo(1);
+        let _ = PipelineBuilder::new(&cfg)
+            .admission_global_lqd(0)
+            .timing_paper(TimingConfig::paper(8))
+            .run();
+    }
+}

@@ -24,6 +24,12 @@ pub enum FlowMix {
         /// Cumulative probability per rank.
         cdf: Vec<f64>,
     },
+    /// Arbitrary per-flow popularity (precomputed CDF) — e.g. one tenant
+    /// offering 2x its share while the others stay at theirs.
+    Weighted {
+        /// Cumulative probability per flow.
+        cdf: Vec<f64>,
+    },
 }
 
 impl FlowMix {
@@ -58,11 +64,38 @@ impl FlowMix {
         FlowMix::Zipf { flows, cdf }
     }
 
+    /// Popularity proportional to `weights` (flow `i` draws
+    /// `weights[i] / sum`). Zero-weight flows never send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn weighted(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one flow");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        FlowMix::Weighted { cdf }
+    }
+
     /// Number of flows in the population.
     pub fn flows(&self) -> u32 {
         match self {
             FlowMix::Uniform { flows } => *flows,
             FlowMix::Zipf { flows, .. } => *flows,
+            FlowMix::Weighted { cdf } => cdf.len() as u32,
         }
     }
 
@@ -70,7 +103,7 @@ impl FlowMix {
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> FlowId {
         match self {
             FlowMix::Uniform { flows } => FlowId::new(rng.next_below(*flows as u64) as u32),
-            FlowMix::Zipf { cdf, .. } => {
+            FlowMix::Zipf { cdf, .. } | FlowMix::Weighted { cdf } => {
                 let u = rng.next_f64();
                 let idx = cdf.partition_point(|&p| p < u);
                 FlowId::new(idx.min(cdf.len() - 1) as u32)
@@ -168,6 +201,20 @@ mod tests {
         for &c in &counts {
             assert!((9_000..11_000).contains(&c), "count {c}");
         }
+    }
+
+    #[test]
+    fn weighted_shares_track_the_weights() {
+        let mix = FlowMix::weighted(&[6.0, 2.0, 2.0, 0.0]);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut counts = [0u32; 4];
+        for _ in 0..50_000 {
+            counts[mix.sample(&mut rng).index() as usize] += 1;
+        }
+        assert_eq!(counts[3], 0, "zero-weight flow never sends");
+        let share0 = counts[0] as f64 / 50_000.0;
+        assert!((0.57..0.63).contains(&share0), "share0 {share0}");
+        assert_eq!(mix.flows(), 4);
     }
 
     #[test]

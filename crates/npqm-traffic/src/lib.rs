@@ -25,6 +25,10 @@
 //!   aggregate reports, optionally running each shard's loop on its own
 //!   thread (byte-identical to serial), and a global-LQD mode that
 //!   shares one buffer budget across all partitions;
+//! * [`builder`] — the [`PipelineBuilder`] front door to every pipeline
+//!   shape above: shards × threading × admission × timing × egress
+//!   (flat or hierarchical HTB class trees) chosen independently, one
+//!   report type out;
 //! * [`service`] — the **always-on streaming service mode**: bounded
 //!   per-shard ingress rings fed by generator threads (backpressure is
 //!   counted, never silently dropped), per-shard `process_once` service
@@ -66,6 +70,7 @@
 pub mod adversary;
 pub mod apps;
 pub mod arrival;
+pub mod builder;
 pub mod flows;
 pub mod packet;
 pub mod pipeline;
@@ -75,8 +80,10 @@ pub mod size;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
+pub use builder::PipelineBuilder;
 pub use flows::FlowMix;
 pub use packet::{AtmCell, EthernetFrame, Ipv4Packet, MacAddr, VlanTag};
+#[allow(deprecated)]
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, PolicyOutcome};
 pub use service::{run_service, run_service_observed, ServiceConfig, ServiceReport};
 pub use size::SizeDistribution;

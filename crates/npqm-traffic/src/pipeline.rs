@@ -27,17 +27,22 @@
 //! corruption class the open-tail fixes in `npqm-core` close) and is
 //! counted, never ignored.
 //!
+//! All pipeline shapes are built through
+//! [`PipelineBuilder`](crate::PipelineBuilder); the historical
+//! `run_*` entry points survive as deprecated thin wrappers.
+//!
 //! # Example
 //!
 //! ```
 //! use npqm_core::policy::LongestQueueDrop;
-//! use npqm_core::sched::DeficitRoundRobin;
-//! use npqm_traffic::pipeline::{run_pipeline, PipelineConfig};
+//! use npqm_traffic::{PipelineBuilder, PipelineConfig};
 //!
 //! let cfg = PipelineConfig::small_demo(7);
-//! let mut policy = LongestQueueDrop::new(0);
-//! let mut sched = DeficitRoundRobin::new(vec![1518; cfg.mix.flows() as usize]);
-//! let report = run_pipeline(&cfg, &mut policy, &mut sched);
+//! let report = PipelineBuilder::new(&cfg)
+//!     .admission(|_| LongestQueueDrop::new(0))
+//!     .egress_spec("drr:1518")
+//!     .run()
+//!     .aggregate;
 //! assert!(report.delivered_pkts > 0);
 //! assert_eq!(report.integrity_violations, 0);
 //! ```
@@ -272,13 +277,28 @@ impl Egress<'_> {
 /// Arrivals stop at `cfg.duration`; the loop then runs until the backlog
 /// has fully drained, so admitted ≡ delivered + evicted at return.
 ///
-/// This loop and [`run_sharded_pipeline`]'s are deliberate twins (the
+/// This loop and `sharded_impl`'s are deliberate twins (the
 /// sharded one threads a shard index through admission, scheduling and
 /// egress); a fix to arrival/eviction/ledger handling here almost
 /// certainly belongs there too, and the test
 /// `one_shard_pipeline_matches_the_dense_pipeline` pins the two loops
 /// together.
+#[deprecated(note = "use npqm_traffic::PipelineBuilder (shards(1) runs this dense loop)")]
 pub fn run_pipeline<P, S>(cfg: &PipelineConfig, policy: &mut P, sched: &mut S) -> PipelineReport
+where
+    P: DropPolicy + ?Sized,
+    S: FlowScheduler + ?Sized,
+{
+    dense_impl(cfg, policy, sched)
+}
+
+/// The dense closed loop behind [`PipelineBuilder`](crate::PipelineBuilder)
+/// at one shard (and the deprecated `run_pipeline` wrapper).
+pub(crate) fn dense_impl<P, S>(
+    cfg: &PipelineConfig,
+    policy: &mut P,
+    sched: &mut S,
+) -> PipelineReport
 where
     P: DropPolicy + ?Sized,
     S: FlowScheduler + ?Sized,
@@ -301,22 +321,23 @@ where
 /// protocol. `cfg.egress_gbps` is ignored in this mode.
 ///
 /// Deterministic: the run is a pure function of `cfg` and `timing`.
-///
-/// # Example
-///
-/// ```
-/// use npqm_core::policy::DynamicThreshold;
-/// use npqm_core::sched::DeficitRoundRobin;
-/// use npqm_core::timing::TimingConfig;
-/// use npqm_traffic::pipeline::{run_timed_pipeline, PipelineConfig};
-///
-/// let cfg = PipelineConfig::small_demo(7);
-/// let mut policy = DynamicThreshold::new(2.0);
-/// let mut sched = DeficitRoundRobin::new(vec![1518; 4]);
-/// let r = run_timed_pipeline(&cfg, &mut policy, &mut sched, &TimingConfig::paper(8));
-/// assert_eq!(r.integrity_violations, 0);
-/// ```
+#[deprecated(note = "use npqm_traffic::PipelineBuilder::timing_paper")]
 pub fn run_timed_pipeline<P, S>(
+    cfg: &PipelineConfig,
+    policy: &mut P,
+    sched: &mut S,
+    timing: &TimingConfig,
+) -> PipelineReport
+where
+    P: DropPolicy + ?Sized,
+    S: FlowScheduler + ?Sized,
+{
+    timed_impl(cfg, policy, sched, timing)
+}
+
+/// The memory-costed dense loop behind
+/// [`PipelineBuilder::timing_paper`](crate::PipelineBuilder::timing_paper).
+pub(crate) fn timed_impl<P, S>(
     cfg: &PipelineConfig,
     policy: &mut P,
     sched: &mut S,
@@ -548,7 +569,7 @@ pub(crate) fn assemble_sharded_report(
 /// `mk_policy(shard)` and `mk_sched(shard)` build each shard's policy and
 /// scheduler. Each shard keeps a per-packet marker/length ledger over its
 /// own flows (a flow lives in exactly one shard), so torn or
-/// cross-linked frames are detected exactly as in [`run_pipeline`].
+/// cross-linked frames are detected exactly as in the dense loop.
 ///
 /// Arrivals stop at `cfg.duration`; every shard then drains its backlog,
 /// so per shard and in aggregate
@@ -559,29 +580,26 @@ pub(crate) fn assemble_sharded_report(
 /// Panics if the flow mix draws flows outside the engine's flow table,
 /// the egress rate is not positive, or the per-shard buffer would be
 /// empty.
-///
-/// # Example
-///
-/// ```
-/// use npqm_core::policy::DynamicThreshold;
-/// use npqm_core::sched::DeficitRoundRobin;
-/// use npqm_traffic::pipeline::{run_sharded_pipeline, PipelineConfig};
-///
-/// let cfg = PipelineConfig::small_demo(7);
-/// let r = run_sharded_pipeline(
-///     &cfg,
-///     2,
-///     true, // one worker thread per shard; bit-identical to serial
-///     |_| DynamicThreshold::new(2.0),
-///     |_| DeficitRoundRobin::new(vec![1518; 4]),
-/// );
-/// assert_eq!(r.aggregate.integrity_violations, 0);
-/// assert_eq!(
-///     r.aggregate.offered_pkts,
-///     r.aggregate.delivered_pkts + r.aggregate.dropped_pkts + r.aggregate.evicted_pkts
-/// );
-/// ```
+#[deprecated(note = "use npqm_traffic::PipelineBuilder::shards + parallel")]
 pub fn run_sharded_pipeline<P, S>(
+    cfg: &PipelineConfig,
+    num_shards: usize,
+    parallel: bool,
+    mk_policy: impl FnMut(usize) -> P,
+    mk_sched: impl FnMut(usize) -> S,
+) -> ShardedPipelineReport
+where
+    P: DropPolicy + Send,
+    S: FlowScheduler + Send,
+{
+    sharded_impl(cfg, num_shards, parallel, mk_policy, mk_sched)
+}
+
+/// The shard-local sharded loop behind
+/// [`PipelineBuilder`](crate::PipelineBuilder) (and the deprecated
+/// `run_sharded_pipeline` wrapper); see the wrapper's doc above for the
+/// full determinism contract.
+pub(crate) fn sharded_impl<P, S>(
     cfg: &PipelineConfig,
     num_shards: usize,
     parallel: bool,
@@ -676,7 +694,22 @@ where
 ///
 /// Panics if the flow mix draws flows outside the engine's flow table or
 /// the egress rate is not positive.
+#[deprecated(note = "use npqm_traffic::PipelineBuilder::admission_global_lqd")]
 pub fn run_sharded_pipeline_global_lqd<S>(
+    cfg: &PipelineConfig,
+    num_shards: usize,
+    reserve_segments: u32,
+    mk_sched: impl FnMut(usize) -> S,
+) -> ShardedPipelineReport
+where
+    S: FlowScheduler,
+{
+    global_lqd_impl(cfg, num_shards, reserve_segments, mk_sched)
+}
+
+/// The coupled shared-buffer loop behind
+/// [`PipelineBuilder::admission_global_lqd`](crate::PipelineBuilder::admission_global_lqd).
+pub(crate) fn global_lqd_impl<S>(
     cfg: &PipelineConfig,
     num_shards: usize,
     reserve_segments: u32,
@@ -865,7 +898,7 @@ pub fn compare_policies(cfg: &PipelineConfig) -> Vec<PolicyOutcome> {
         .map(|policy| {
             let mut sched = DeficitRoundRobin::new(vec![1518; flows]);
             let name = policy.name().to_string();
-            let report = run_pipeline(cfg, policy, &mut sched);
+            let report = dense_impl(cfg, policy, &mut sched);
             PolicyOutcome {
                 policy: name,
                 report,
@@ -884,7 +917,7 @@ mod tests {
         let cfg = PipelineConfig::small_demo(11);
         let mut policy = LongestQueueDrop::new(0);
         let mut sched = DeficitRoundRobin::new(vec![1518; 4]);
-        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        let r = dense_impl(&cfg, &mut policy, &mut sched);
         assert!(r.offered_pkts > 0);
         assert_eq!(
             r.offered_pkts,
@@ -905,7 +938,7 @@ mod tests {
         cfg.duration = Picos::from_micros(5);
         let mut policy = LongestQueueDrop::new(0);
         let mut sched = DeficitRoundRobin::new(vec![1518; 4]);
-        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        let r = dense_impl(&cfg, &mut policy, &mut sched);
         assert!(r.dropped_pkts + r.evicted_pkts > 0, "overload must drop");
         assert_eq!(r.integrity_violations, 0);
         assert_eq!(
@@ -921,7 +954,7 @@ mod tests {
         let run = |seed_cfg: &PipelineConfig| {
             let mut policy = DynamicThreshold::new(2.0);
             let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-            run_pipeline(seed_cfg, &mut policy, &mut sched)
+            dense_impl(seed_cfg, &mut policy, &mut sched)
         };
         let a = run(&cfg);
         let b = run(&cfg);
@@ -935,7 +968,7 @@ mod tests {
         let cfg = PipelineConfig::small_demo(9);
         let mut policy = DynamicThreshold::new(1.0);
         let mut sched = StrictPriority::new(4);
-        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        let r = dense_impl(&cfg, &mut policy, &mut sched);
         assert_eq!(r.integrity_violations, 0);
         assert_eq!(
             r.offered_pkts,
@@ -974,7 +1007,7 @@ mod tests {
     #[test]
     fn sharded_pipeline_conserves_per_shard_and_aggregate() {
         let cfg = PipelineConfig::bursty_overload(21);
-        let r = run_sharded_pipeline(
+        let r = sharded_impl(
             &cfg,
             4,
             false,
@@ -1005,7 +1038,7 @@ mod tests {
     #[test]
     fn sharded_pipeline_routes_flows_to_their_home_shard_only() {
         let cfg = PipelineConfig::bursty_overload(8);
-        let r = run_sharded_pipeline(
+        let r = sharded_impl(
             &cfg,
             4,
             false,
@@ -1027,7 +1060,7 @@ mod tests {
     #[test]
     fn one_shard_pipeline_matches_the_dense_pipeline() {
         let cfg = PipelineConfig::bursty_overload(5);
-        let sharded = run_sharded_pipeline(
+        let sharded = sharded_impl(
             &cfg,
             1,
             false,
@@ -1036,7 +1069,7 @@ mod tests {
         );
         let mut policy = DynamicThreshold::new(2.0);
         let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-        let dense = run_pipeline(&cfg, &mut policy, &mut sched);
+        let dense = dense_impl(&cfg, &mut policy, &mut sched);
         let a = &sharded.aggregate;
         assert_eq!(a.offered_pkts, dense.offered_pkts);
         assert_eq!(a.dropped_pkts, dense.dropped_pkts);
@@ -1053,14 +1086,14 @@ mod tests {
         // covers every field, including the per-flow latency moments.
         for seed in [3u64, 21, 42, 99] {
             let cfg = PipelineConfig::bursty_overload(seed);
-            let serial = run_sharded_pipeline(
+            let serial = sharded_impl(
                 &cfg,
                 4,
                 false,
                 |_| LongestQueueDrop::new(0),
                 |_| DeficitRoundRobin::new(vec![1518; 16]),
             );
-            let parallel = run_sharded_pipeline(
+            let parallel = sharded_impl(
                 &cfg,
                 4,
                 true,
@@ -1078,8 +1111,7 @@ mod tests {
     #[test]
     fn global_lqd_pipeline_conserves_and_never_tears() {
         let cfg = PipelineConfig::bursty_overload(21);
-        let r =
-            run_sharded_pipeline_global_lqd(&cfg, 4, 0, |_| DeficitRoundRobin::new(vec![1518; 16]));
+        let r = global_lqd_impl(&cfg, 4, 0, |_| DeficitRoundRobin::new(vec![1518; 16]));
         assert_eq!(r.shards.len(), 4);
         assert!(r.aggregate.offered_pkts > 0);
         assert!(
@@ -1110,15 +1142,14 @@ mod tests {
         // idle partitions would otherwise strand. Both runs are pure
         // functions of the seed, so this is a deterministic comparison.
         let cfg = PipelineConfig::bursty_overload(42);
-        let local = run_sharded_pipeline(
+        let local = sharded_impl(
             &cfg,
             4,
             false,
             |_| DynamicThreshold::new(2.0),
             |_| DeficitRoundRobin::new(vec![1518; 16]),
         );
-        let global =
-            run_sharded_pipeline_global_lqd(&cfg, 4, 0, |_| DeficitRoundRobin::new(vec![1518; 16]));
+        let global = global_lqd_impl(&cfg, 4, 0, |_| DeficitRoundRobin::new(vec![1518; 16]));
         assert!(
             global.aggregate.delivered_bytes >= local.aggregate.delivered_bytes,
             "global LQD {} < shard-local C-H {}",
@@ -1132,7 +1163,7 @@ mod tests {
         let cfg = PipelineConfig::bursty_overload(17);
         let mut policy = DynamicThreshold::new(2.0);
         let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-        let r = run_timed_pipeline(&cfg, &mut policy, &mut sched, &TimingConfig::paper(8));
+        let r = timed_impl(&cfg, &mut policy, &mut sched, &TimingConfig::paper(8));
         assert!(r.offered_pkts > 0);
         assert_eq!(
             r.offered_pkts,
@@ -1149,7 +1180,7 @@ mod tests {
         let run = || {
             let mut policy = DynamicThreshold::new(2.0);
             let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-            run_timed_pipeline(&cfg, &mut policy, &mut sched, &TimingConfig::naive(4))
+            timed_impl(&cfg, &mut policy, &mut sched, &TimingConfig::naive(4))
         };
         let a = run();
         let b = run();
@@ -1166,7 +1197,7 @@ mod tests {
         let run = |banks: u32| {
             let mut policy = DynamicThreshold::new(2.0);
             let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-            run_timed_pipeline(&cfg, &mut policy, &mut sched, &TimingConfig::paper(banks))
+            timed_impl(&cfg, &mut policy, &mut sched, &TimingConfig::paper(banks))
         };
         let one = run(1);
         let sixteen = run(16);
@@ -1198,7 +1229,7 @@ mod tests {
         };
         let mut policy = LongestQueueDrop::new(0);
         let mut sched = DeficitRoundRobin::new(vec![9000; 4]);
-        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        let r = dense_impl(&cfg, &mut policy, &mut sched);
         assert!(r.offered_pkts > 0);
         assert_eq!(r.offered_bytes, r.offered_pkts * 9000);
         assert_eq!(r.delivered_bytes, r.delivered_pkts * 9000);
@@ -1210,7 +1241,7 @@ mod tests {
         let cfg = PipelineConfig::bursty_overload(1);
         let mut policy = LongestQueueDrop::new(0);
         let mut sched = DeficitRoundRobin::new(vec![1518; 16]);
-        let r = run_pipeline(&cfg, &mut policy, &mut sched);
+        let r = dense_impl(&cfg, &mut policy, &mut sched);
         let measured = r.offered_bytes as f64 * 8.0 / cfg.duration.as_nanos_f64();
         assert!(
             (measured / cfg.offered_gbps() - 1.0).abs() < 0.2,

@@ -9,7 +9,7 @@
 //! aggregate, and that the per-window latency quantiles are monotone.
 
 use npqm_core::policy::DynamicThreshold;
-use npqm_core::sched::DeficitRoundRobin;
+use npqm_core::sched::from_spec;
 use npqm_sim::time::Picos;
 use npqm_traffic::service::{run_service, ServiceConfig, ServiceReport};
 use proptest::prelude::*;
@@ -46,7 +46,7 @@ fn run(cfg: &ServiceConfig, threads: usize) -> ServiceReport {
         cfg,
         threads,
         |_| DynamicThreshold::new(2.0),
-        move |_| DeficitRoundRobin::new(vec![1518; flows]),
+        move |_| from_spec("drr:1518", flows as u32).expect("static spec"),
     )
 }
 
@@ -153,5 +153,39 @@ fn threaded_windows_match_serial() {
         assert_eq!(a.dropped_pkts, b.dropped_pkts);
         assert_eq!(a.evicted_pkts, b.evicted_pkts);
         assert_eq!(a.p999_ns(), b.p999_ns());
+    }
+}
+
+/// The always-on service accepts the HTB class tree like any other
+/// scheduler, and a single-root tree (one leaf per flow, rate = ceil =
+/// capacity) replays the flat DRR service run digest for digest — the
+/// degenerate-tree contract holds through the streaming loop too, at
+/// any thread count.
+#[test]
+fn single_root_htb_service_matches_flat_drr() {
+    let cfg = ServiceConfig::steady_demo(11);
+    let flows = cfg.mix.flows();
+    let htb_spec = format!(
+        "htb:cap=1000;root,rate=1000,quantum=1518,flows=0-{}",
+        flows - 1
+    );
+    for threads in [1usize, 2] {
+        let drr = run_service(
+            &cfg,
+            threads,
+            |_| DynamicThreshold::new(2.0),
+            move |_| from_spec("drr:1518", flows).expect("static spec"),
+        );
+        let spec = htb_spec.clone();
+        let htb = run_service(
+            &cfg,
+            threads,
+            |_| DynamicThreshold::new(2.0),
+            move |_| from_spec(&spec, flows).expect("static spec"),
+        );
+        assert_eq!(drr.epoch_digests, htb.epoch_digests);
+        assert_eq!(drr.final_digest, htb.final_digest);
+        assert_eq!(drr.aggregate.delivered_pkts, htb.aggregate.delivered_pkts);
+        assert_eq!(drr.aggregate.dropped_pkts, htb.aggregate.dropped_pkts);
     }
 }

@@ -10,7 +10,8 @@
 //! switches: static-partition tail drop, Longest Queue Drop (push-out)
 //! and Choudhury–Hahne dynamic thresholds.
 
-use npqm::traffic::pipeline::{compare_policies, run_pipeline, PipelineConfig};
+use npqm::traffic::pipeline::{compare_policies, PipelineConfig};
+use npqm::traffic::PipelineBuilder;
 
 fn main() {
     let cfg = PipelineConfig::bursty_overload(7);
@@ -36,13 +37,14 @@ fn main() {
     }
 
     // The pipeline takes any DropPolicy + FlowScheduler combination; a
-    // custom pairing is two lines.
-    let mut policy = npqm::core::policy::LongestQueueDrop::new(8);
-    let mut sched = npqm::core::sched::StrictPriority::new(16);
-    let r = run_pipeline(&cfg, &mut policy, &mut sched);
+    // custom pairing is a builder chain.
+    let r = PipelineBuilder::new(&cfg)
+        .admission(|_| npqm::core::policy::LongestQueueDrop::new(8))
+        .egress_spec("sp")
+        .run();
     println!(
         "\ncustom pairing (LQD + strict priority): goodput {:.3} Gbps, {} evictions",
-        r.goodput_gbps(),
-        r.evicted_pkts,
+        r.aggregate.goodput_gbps(),
+        r.aggregate.evicted_pkts,
     );
 }

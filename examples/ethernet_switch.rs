@@ -1,11 +1,14 @@
 //! 802.1p QoS Ethernet switching — the first application of the paper's
-//! §6 list — under bursty traffic.
+//! §6 list — under bursty traffic, plus the same trunk as a multi-tenant
+//! HTB scenario routed through the [`PipelineBuilder`] so the per-class
+//! report includes admission drops and evictions.
 //!
 //! Run with: `cargo run --example ethernet_switch`
 
 use npqm::sim::rng::Xoshiro256pp;
 use npqm::traffic::apps::QosSwitch;
 use npqm::traffic::packet::{EthernetFrame, MacAddr, VlanTag};
+use npqm::traffic::{PipelineBuilder, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sw = QosSwitch::new(4)?;
@@ -61,5 +64,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("counters: forwarded={forwarded} flooded={flooded} dropped={dropped}");
     sw.engine().verify()?;
     println!("queue-engine invariants verified");
+
+    // Trunk mode: install an HTB class tree on port 3 so two tenant
+    // classes share the uplink 3:1 instead of starving each other.
+    let mut guarantees = [0u64; 8];
+    guarantees[1] = 250;
+    guarantees[5] = 750;
+    let tree = sw.htb_trunk(3, 1000, guarantees)?;
+    sw.set_port_scheduler(3, Box::new(tree));
+    for _ in 0..40 {
+        for &pcp in &[1u8, 5] {
+            let frame = EthernetFrame {
+                dst: hosts[3],
+                src: hosts[0],
+                vlan: Some(VlanTag { pcp, vid: 100 }),
+                ethertype: 0x0800,
+                payload: vec![pcp; 100],
+            };
+            sw.rx(0, &frame.to_bytes())?;
+        }
+    }
+    let mut trunk_served = [0u32; 8];
+    for _ in 0..48 {
+        let out = sw.tx(3)?.expect("trunk backlogged");
+        let pcp = EthernetFrame::parse(&out)?.vlan.map_or(0, |t| t.pcp);
+        trunk_served[pcp as usize] += 1;
+    }
+    println!(
+        "htb trunk after 48 frames: class5 {} / class1 {} (class 5 holds priority while green)",
+        trunk_served[5], trunk_served[1]
+    );
+    while sw.tx(3)?.is_some() {} // work conservation: drains fully
+    assert_eq!(sw.backlog(3), 0);
+
+    // The standalone switch bypasses admission reporting; the same trunk
+    // as a closed-loop pipeline (one flow per 802.1p class, HTB egress)
+    // reports drops and evictions per class like table6 does.
+    let mut cfg = PipelineConfig::bursty_overload(2005);
+    cfg.mix = npqm::traffic::FlowMix::uniform(8);
+    let report = PipelineBuilder::new(&cfg)
+        .egress_spec(concat!(
+            "htb:cap=1000;trunk,rate=1000;",
+            "bulk,parent=trunk,rate=250,ceil=1000,prio=6,flows=0-3;",
+            "prio,parent=trunk,rate=750,ceil=1000,prio=2,flows=4-7",
+        ))
+        .run();
+    println!("\nper-class pipeline report (HTB trunk egress):");
+    println!("class offered admitted dropped evicted delivered");
+    for (class, f) in report.aggregate.flows.iter().enumerate() {
+        println!(
+            "{class:>5} {:>7} {:>8} {:>7} {:>7} {:>9}",
+            f.offered_pkts, f.admitted_pkts, f.dropped_pkts, f.evicted_pkts, f.delivered_pkts
+        );
+    }
+    assert_eq!(report.aggregate.integrity_violations, 0);
+    println!("pipeline integrity verified");
     Ok(())
 }

@@ -13,7 +13,7 @@
 //! every epoch digest and the final state digest are byte-identical.
 
 use npqm::core::policy::DynamicThreshold;
-use npqm::core::sched::DeficitRoundRobin;
+use npqm::core::sched::from_spec;
 use npqm::sim::time::Picos;
 use npqm::traffic::service::{run_service, run_service_observed, ServiceConfig};
 
@@ -47,7 +47,7 @@ fn main() {
         &cfg,
         4,
         |_| DynamicThreshold::new(2.0),
-        |_| DeficitRoundRobin::new(vec![1518; flows]),
+        |_| from_spec("drr:1518", flows as u32).expect("static spec"),
         |shard, w| {
             let q = |v: Option<u64>| match v {
                 Some(ns) => format!("{:.1}us", ns as f64 / 1e3),
@@ -86,7 +86,7 @@ fn main() {
         &cfg,
         1,
         |_| DynamicThreshold::new(2.0),
-        |_| DeficitRoundRobin::new(vec![1518; flows]),
+        |_| from_spec("drr:1518", flows as u32).expect("static spec"),
     );
     assert_eq!(threaded.epoch_digests, serial.epoch_digests);
     assert_eq!(threaded.final_digest, serial.final_digest);

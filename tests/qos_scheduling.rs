@@ -145,20 +145,87 @@ fn strict_priority_with_shared_buffer_pressure() {
 }
 
 /// Scheduler trait objects compose (C-OBJECT): disciplines are swappable
-/// at runtime.
+/// at runtime, and the `from_spec` registry builds every one of them
+/// from a string.
 #[test]
 fn disciplines_as_trait_objects() {
+    use npqm::core::sched::from_spec;
+
     let mut qm = engine(4);
     for f in 0..4u32 {
         qm.enqueue_packet(FlowId::new(f), &[f as u8; 64]).unwrap();
     }
-    let mut disciplines: Vec<Box<dyn FlowScheduler>> = vec![
-        Box::new(StrictPriority::new(4)),
-        Box::new(WeightedRoundRobin::new(vec![1; 4])),
-        Box::new(DeficitRoundRobin::new(vec![64; 4])),
-    ];
+    let mut disciplines: Vec<Box<dyn FlowScheduler + Send>> = [
+        "sp",
+        "wrr",
+        "drr:64",
+        "htb:cap=100;root,rate=100;t,parent=root,rate=25,ceil=100,flows=0-3",
+    ]
+    .iter()
+    .map(|spec| from_spec(spec, 4).expect("registry builds every discipline"))
+    .collect();
     for d in &mut disciplines {
         let flow = d.next_flow(&qm).expect("backlog exists");
         assert!(qm.complete_packets(flow) > 0);
     }
+}
+
+/// An HTB tree with a single root class and one leaf per flow replays
+/// flat DRR byte-for-byte: identical service order and `state_digest`
+/// on the same trace, in the direct drain and through the closed loop
+/// at 1 and 4 threads.
+#[test]
+fn single_root_htb_is_digest_identical_to_flat_drr() {
+    use npqm::core::check::state_digest;
+    use npqm::core::policy::DynamicThreshold;
+    use npqm::core::sched::HtbScheduler;
+    use npqm::traffic::{PipelineBuilder, PipelineConfig};
+
+    // Direct engine drain: one interleaved trace into two engines.
+    let mut qm_drr = engine(4);
+    let mut qm_htb = engine(4);
+    let mut drr = DeficitRoundRobin::new(vec![1518; 4]);
+    let mut htb = HtbScheduler::single_root(4, 1518);
+    let mut rng = Xoshiro256pp::seed_from_u64(2005);
+    for step in 0..400u32 {
+        let flow = FlowId::new(rng.next_below(4) as u32);
+        let len = 1 + rng.next_below(1500) as usize;
+        let _ = qm_drr.enqueue_packet(flow, &vec![step as u8; len]);
+        let _ = qm_htb.enqueue_packet(flow, &vec![step as u8; len]);
+        if step % 3 == 0 {
+            assert_eq!(
+                drain_next(&mut qm_drr, &mut drr),
+                drain_next(&mut qm_htb, &mut htb),
+                "service order diverged at step {step}"
+            );
+        }
+    }
+    loop {
+        let a = drain_next(&mut qm_drr, &mut drr);
+        let b = drain_next(&mut qm_htb, &mut htb);
+        assert_eq!(a, b, "service order diverged in the final drain");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(state_digest(&qm_drr), state_digest(&qm_htb));
+
+    // Closed loop: the equivalence survives sharding and threading (4
+    // shards, serial and one worker thread per shard).
+    let cfg = PipelineConfig::bursty_overload(2005);
+    let report = |parallel: bool, htb: bool| {
+        let b = PipelineBuilder::new(&cfg)
+            .shards(4)
+            .parallel(parallel)
+            .admission(|_| DynamicThreshold::new(2.0));
+        let b = if htb {
+            b.egress_htb(HtbScheduler::single_root(16, 1518))
+        } else {
+            b.egress_spec("drr:1518")
+        };
+        format!("{:?}", b.run())
+    };
+    let flat_serial = report(false, false);
+    assert_eq!(report(false, true), flat_serial, "htb != drr at 1 thread");
+    assert_eq!(report(true, true), flat_serial, "htb != drr at 4 threads");
 }

@@ -19,13 +19,15 @@ use npqm::traffic::packet::{EthernetFrame, MacAddr};
 #[test]
 fn pipeline_closed_loop_runs_through_facade() {
     use npqm::core::policy::LongestQueueDrop;
-    use npqm::core::sched::DeficitRoundRobin;
-    use npqm::traffic::pipeline::{run_pipeline, PipelineConfig};
+    use npqm::traffic::pipeline::PipelineConfig;
+    use npqm::traffic::PipelineBuilder;
 
     let cfg = PipelineConfig::small_demo(1);
-    let mut policy = LongestQueueDrop::new(0);
-    let mut sched = DeficitRoundRobin::new(vec![1518; 4]);
-    let report = run_pipeline(&cfg, &mut policy, &mut sched);
+    let report = PipelineBuilder::new(&cfg)
+        .admission(|_| LongestQueueDrop::new(0))
+        .egress_spec("drr:1518")
+        .run()
+        .aggregate;
     assert!(report.delivered_pkts > 0);
     assert_eq!(report.integrity_violations, 0);
     assert_eq!(
