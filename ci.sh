@@ -7,8 +7,9 @@
 # to main.
 #
 #   ./ci.sh         # full pipeline: fmt, clippy, docs, tier-1, tables,
-#                   # golden checks, parallel-determinism diff, every
-#                   # example, bench smoke, bench artifacts, bench gate
+#                   # golden checks, parallel-determinism diff, telemetry
+#                   # trace export + cross-thread diff, every example,
+#                   # bench smoke, bench artifacts, bench gate
 #   ./ci.sh quick   # tier-1 (build + test) plus the table6, table9,
 #                   # table10 and table11 golden checks, so even the
 #                   # fast path catches torn-frame, conservation,
@@ -93,6 +94,35 @@ parallel_determinism() {
     echo "parallel-determinism: reports byte-identical."
 }
 
+# Deterministic-telemetry gates: `table10 --trace` runs the steady-state
+# workload twice at the same thread count — traced and untraced — and
+# asserts the zero-interference contract (final + per-epoch digests and
+# the whole report identical), exact reconciliation of the event counts,
+# drop-attribution ledger and metrics registry against the run's own
+# totals, and a strict `Json::parse` round trip of the exported
+# Chrome/Perfetto trace before writing it. The traces exported at 1 and
+# 4 worker threads must then be byte-identical — virtual-time
+# timestamps contain no wall clock. `table11 --trace` runs the same
+# contract on the HTB trunk (every delivery carries exactly one
+# leaf-selection event).
+telemetry() {
+    echo "==> telemetry: table10 --trace at NPQM_THREADS=1"
+    NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table10 -- \
+        --trace target/table10-trace-threads1.json
+    echo "==> telemetry: table10 --trace at NPQM_THREADS=4"
+    NPQM_THREADS=4 cargo run --release -q -p npqm-bench --bin table10 -- \
+        --trace target/table10-trace-threads4.json
+    echo "==> telemetry: diff table10 traces threads=1 vs threads=4"
+    if ! diff -u target/table10-trace-threads1.json target/table10-trace-threads4.json; then
+        echo "telemetry FAILED: exported traces differ between 1 and 4 threads" >&2
+        exit 1
+    fi
+    echo "==> telemetry: table11 --trace (HTB trunk, leaf-selection events)"
+    NPQM_THREADS=1 cargo run --release -q -p npqm-bench --bin table11 -- \
+        --trace target/table11-trace.json
+    echo "telemetry: traces reconciled and byte-identical across thread counts."
+}
+
 # Machine-readable bench/table results, uploaded as a CI artifact by the
 # hosted pipeline so the perf trajectory accumulates per commit. These
 # include the wall-clock measurements the determinism reports exclude.
@@ -153,6 +183,8 @@ cargo run --release -q -p npqm-bench --bin all_tables >/dev/null
 golden_full
 
 parallel_determinism
+
+telemetry
 
 # Every runnable scenario must stay runnable, not just drop_policies.
 for src in examples/*.rs; do

@@ -31,6 +31,7 @@ fn hot_config() -> PipelineConfig {
         egress_gbps: 5.0,
         duration: Picos::from_micros(50),
         seed: 17,
+        telemetry: None,
     }
 }
 

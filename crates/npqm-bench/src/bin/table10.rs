@@ -35,9 +35,10 @@
 //! `--check`) writes the full results including wall-clock measurements,
 //! the per-commit perf artifact.
 
-use npqm_bench::json::{service_report_deterministic_json, Json, ToJson};
+use npqm_bench::json::{service_report_deterministic_json, telemetry_trace_json, Json, ToJson};
 use npqm_core::policy::DynamicThreshold;
 use npqm_core::sched::from_spec;
+use npqm_core::telemetry::TelemetryConfig;
 use npqm_traffic::scale::{run_shard_scale, threads_from_env, ShardScaleConfig};
 use npqm_traffic::service::{quiesced_digest, run_service, ServiceConfig, ServiceReport};
 
@@ -276,6 +277,133 @@ fn write_file(path: &str, contents: &str) {
     println!("table10: wrote {path}");
 }
 
+/// `--trace <path>`: runs the table10 workload with telemetry enabled,
+/// proves that tracing changed nothing (digest equality against a fresh
+/// untraced run at the same thread count), reconciles the trace exactly
+/// with the run's own counters, and writes the Perfetto-loadable
+/// `trace_event` JSON. The written file is a pure function of the
+/// configuration, so the CI telemetry stage diffs it across
+/// `NPQM_THREADS` values.
+fn run_trace(path: &str) {
+    let threads = threads_from_env();
+    println!(
+        "table10 trace: NPQM_THREADS={threads} ({} cores available)",
+        cores()
+    );
+    let untraced_cfg = ServiceConfig::table10();
+    let mut traced_cfg = untraced_cfg.clone();
+    traced_cfg.telemetry = Some(TelemetryConfig::default());
+    let traced = run(&traced_cfg, threads);
+    let untraced = run(&untraced_cfg, threads);
+
+    // The zero-interference gate: enabled telemetry must not change a
+    // single engine transition (same contract as QueueManager tracing).
+    check(
+        traced.final_digest == untraced.final_digest,
+        &format!(
+            "tracing changes nothing: final digest {:#018x} equals the untraced run's",
+            traced.final_digest
+        ),
+    );
+    check(
+        traced.epoch_digests == untraced.epoch_digests,
+        &format!(
+            "tracing changes nothing: all {} online epoch digests equal the untraced run's",
+            traced.epoch_digests.len()
+        ),
+    );
+    check(
+        format!("{:?}", traced.aggregate) == format!("{:?}", untraced.aggregate),
+        "tracing changes nothing: aggregate report byte-identical to the untraced run",
+    );
+
+    let tel = traced
+        .telemetry
+        .as_ref()
+        .expect("traced run carries a telemetry report");
+    let a = &traced.aggregate;
+
+    // Exact reconciliation: the trace is an account of the run, so its
+    // totals must equal the run's own counters — not approximately.
+    check(
+        tel.counts.drops == a.dropped_pkts,
+        &format!(
+            "trace drops ({}) reconcile with dropped_pkts ({})",
+            tel.counts.drops, a.dropped_pkts
+        ),
+    );
+    check(
+        tel.counts.evictions == a.evicted_pkts,
+        &format!(
+            "trace evictions ({}) reconcile with evicted_pkts ({})",
+            tel.counts.evictions, a.evicted_pkts
+        ),
+    );
+    check(
+        tel.counts.deliveries == a.delivered_pkts
+            && tel.counts.delivered_bytes == a.delivered_bytes,
+        "trace deliveries reconcile with delivered packets and bytes",
+    );
+    let admitted: u64 = traced.windows.iter().map(|w| w.admitted_pkts).sum();
+    check(
+        tel.counts.admits == admitted,
+        &format!(
+            "trace admits ({}) reconcile with windowed admitted_pkts ({admitted})",
+            tel.counts.admits
+        ),
+    );
+    check(
+        tel.refused_pkts == a.dropped_pkts && tel.evicted_pkts == a.evicted_pkts,
+        "drop ledger totals reconcile with the report's drop/eviction counters",
+    );
+    let tax_total: u64 = tel.taxonomy.iter().map(|row| row.bucket.count).sum();
+    check(
+        tax_total == a.dropped_pkts + a.evicted_pkts,
+        &format!(
+            "drop taxonomy accounts for every loss ({tax_total} = {} dropped + {} evicted)",
+            a.dropped_pkts, a.evicted_pkts
+        ),
+    );
+    let fm = &tel.final_metrics;
+    // bytes_in counts per-segment before a mid-packet OutOfSegments
+    // rollback, so engine-refused packets can leave partial bytes in it:
+    // admit_bytes <= bytes_in <= admit_bytes + drop_bytes.
+    let bytes_in = fm.counter_value("qm.bytes_in").unwrap_or(0);
+    check(
+        bytes_in >= tel.counts.admit_bytes
+            && bytes_in <= tel.counts.admit_bytes + tel.counts.drop_bytes,
+        "final metrics: engine bytes_in brackets traced admit bytes",
+    );
+    check(
+        fm.counter_value("qm.bytes_out") == Some(tel.counts.delivered_bytes),
+        "final metrics: engine bytes_out equals traced delivered bytes",
+    );
+    check(
+        fm.counter_value("trace.admits") == Some(tel.counts.admits),
+        "final metrics mirror the trace counts under trace.* names",
+    );
+    check(
+        !tel.epoch_metrics.is_empty() && tel.counts.epochs > 0,
+        "per-epoch metric snapshots were taken at the boundaries",
+    );
+
+    // Export, and prove the artifact survives a strict parse round trip
+    // before writing it (the CI stage re-parses the written file too).
+    let doc = telemetry_trace_json(tel, "table10");
+    let text = doc.pretty();
+    let parsed = Json::parse(&text).expect("trace JSON parses back");
+    check(
+        parsed == doc,
+        &format!(
+            "trace JSON round-trips through the strict parser ({} events, {} retained)",
+            tel.counts.total(),
+            tel.events.len()
+        ),
+    );
+    write_file(path, &text);
+    println!("table10 trace: PASS");
+}
+
 fn run_check(report_path: Option<&str>) {
     let threads = threads_from_env();
     println!(
@@ -392,6 +520,10 @@ fn main() {
             );
         }
         run_check(flag_value("--report").as_deref());
+        return;
+    }
+    if let Some(path) = flag_value("--trace").or_else(|| std::env::var("NPQM_TRACE").ok()) {
+        run_trace(&path);
         return;
     }
 

@@ -29,13 +29,14 @@
 //! writes the full results including wall-clock measurements, the
 //! per-commit perf artifact.
 
-use npqm_bench::json::{Json, ToJson};
+use npqm_bench::json::{telemetry_trace_json, Json, ToJson};
 use npqm_bench::qos::{
-    guarantee_gbps, run_trunk, run_work_conservation, tenant_bytes, trunk_cfg, WorkConservation,
-    FLOWS, LOAD_FAIR, LOAD_OVERLOAD, SEEDS, TENANTS, TENANT_FLOWS,
+    guarantee_gbps, run_trunk, run_trunk_observed, run_work_conservation, tenant_bytes, trunk_cfg,
+    WorkConservation, FLOWS, LOAD_FAIR, LOAD_OVERLOAD, SEEDS, TENANTS, TENANT_FLOWS,
 };
 use npqm_core::policy::DynamicThreshold;
 use npqm_core::sched::HtbScheduler;
+use npqm_core::telemetry::TelemetryConfig;
 use npqm_traffic::pipeline::{PipelineConfig, ShardedPipelineReport};
 use npqm_traffic::scale::threads_from_env;
 use npqm_traffic::PipelineBuilder;
@@ -262,6 +263,51 @@ fn cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// `--trace <path>`: re-runs the seed-42 overload trunk with telemetry
+/// enabled, proves the observed run is byte-identical to the plain one,
+/// reconciles the drop ledger with the report, and writes the
+/// Perfetto-loadable trace (HTB leaf selections included).
+fn run_trace(path: &str) {
+    let traced = run_trunk_observed(42, &LOAD_OVERLOAD, true, Some(TelemetryConfig::default()));
+    let plain = run_trunk(42, &LOAD_OVERLOAD, true);
+    let mut stripped = traced.clone();
+    stripped.telemetry = None;
+    for sh in &mut stripped.shards {
+        sh.telemetry = None;
+    }
+    check(
+        format!("{stripped:?}") == format!("{plain:?}"),
+        "tracing changes nothing: observed trunk report byte-identical to the plain run",
+    );
+    let tel = traced
+        .telemetry
+        .as_ref()
+        .expect("observed run carries a telemetry report");
+    let a = &traced.aggregate;
+    check(
+        tel.counts.drops == a.dropped_pkts
+            && tel.counts.evictions == a.evicted_pkts
+            && tel.counts.deliveries == a.delivered_pkts,
+        "trace counts reconcile with the trunk report",
+    );
+    check(
+        tel.refused_pkts == a.dropped_pkts && tel.evicted_pkts == a.evicted_pkts,
+        "drop ledger totals reconcile with the trunk report",
+    );
+    check(
+        tel.counts.sched_selects == a.delivered_pkts,
+        "every delivery carries exactly one HTB leaf-selection event",
+    );
+    let doc = telemetry_trace_json(tel, "table11");
+    let text = doc.pretty();
+    check(
+        Json::parse(&text).as_ref() == Ok(&doc),
+        "trace JSON round-trips through the strict parser",
+    );
+    write_file(path, &text);
+    println!("table11 trace: PASS");
+}
+
 fn run_check(report_path: Option<&str>) {
     let threads = threads_from_env();
     println!(
@@ -352,6 +398,10 @@ fn main() {
             );
         }
         run_check(flag_value("--report").as_deref());
+        return;
+    }
+    if let Some(path) = flag_value("--trace") {
+        run_trace(&path);
         return;
     }
 

@@ -641,6 +641,7 @@ impl ToJson for npqm_traffic::pipeline::ShardedPipelineReport {
             ("shards", self.shards.to_json()),
             ("aggregate", self.aggregate.to_json()),
             ("shard_of_flow", self.shard_of_flow.to_json()),
+            ("telemetry", telemetry_field(&self.telemetry)),
         ])
     }
 }
@@ -765,6 +766,7 @@ impl ToJson for npqm_traffic::service::ServiceReport {
             ("segments_per_sec", self.segments_per_sec().to_json()),
             ("critical_path_us", duration_us(self.critical_path)),
             ("wall_clock_us", duration_us(self.wall_clock)),
+            ("telemetry", telemetry_field(&self.telemetry)),
         ])
     }
 }
@@ -817,6 +819,287 @@ pub fn service_report_deterministic_json(r: &npqm_traffic::service::ServiceRepor
         ("final_digest", digest_json(r.final_digest)),
         ("shard_of_flow", r.shard_of_flow.to_json()),
         ("segments_processed", r.segments_processed.to_json()),
+        ("telemetry", telemetry_field(&r.telemetry)),
+    ])
+}
+
+/// `Option<TelemetryReport>` as a report field: the deterministic
+/// [`telemetry_summary_json`] when telemetry was enabled, `null`
+/// otherwise.
+fn telemetry_field(t: &Option<npqm_core::telemetry::TelemetryReport>) -> Json {
+    match t {
+        Some(rep) => telemetry_summary_json(rep),
+        None => Json::Null,
+    }
+}
+
+impl ToJson for npqm_core::telemetry::EventCounts {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("admits", self.admits.to_json()),
+            ("admit_bytes", self.admit_bytes.to_json()),
+            ("drops", self.drops.to_json()),
+            ("drop_bytes", self.drop_bytes.to_json()),
+            ("evictions", self.evictions.to_json()),
+            ("evicted_bytes", self.evicted_bytes.to_json()),
+            ("deliveries", self.deliveries.to_json()),
+            ("delivered_bytes", self.delivered_bytes.to_json()),
+            ("sched_selects", self.sched_selects.to_json()),
+            ("mem_txs", self.mem_txs.to_json()),
+            ("mem_tx_ps", self.mem_tx_ps.to_json()),
+            ("epochs", self.epochs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for npqm_core::telemetry::DropTaxonomyRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", self.policy.as_str().to_json()),
+            ("cause", self.cause.label().to_json()),
+            ("count", self.bucket.count.to_json()),
+            ("bytes", self.bucket.bytes.to_json()),
+            ("mean_victim_depth", self.mean_victim_depth().to_json()),
+            ("mean_occupancy", self.mean_occupancy().to_json()),
+            ("max_occupancy", self.bucket.max_occupancy.to_json()),
+        ])
+    }
+}
+
+/// A [`npqm_core::telemetry::MetricsRegistry`] as a flat JSON object in
+/// sorted name order. `include_volatile` selects whether
+/// scheduling-dependent metrics (steal counts, wall clock) appear;
+/// deterministic exports pass `false`.
+pub fn metrics_registry_json(
+    reg: &npqm_core::telemetry::MetricsRegistry,
+    include_volatile: bool,
+) -> Json {
+    use npqm_core::telemetry::MetricValue;
+    Json::Obj(
+        reg.iter()
+            .filter(|(_, m)| include_volatile || !m.volatile)
+            .map(|(name, m)| {
+                let v = match m.value {
+                    MetricValue::Counter(c) => c.to_json(),
+                    MetricValue::Gauge(g) => Json::Num(g),
+                };
+                (name.to_string(), v)
+            })
+            .collect(),
+    )
+}
+
+/// The deterministic summary of a merged
+/// [`npqm_core::telemetry::TelemetryReport`]: exact event counts, the
+/// drop taxonomy, ledger totals and the folded metric snapshots
+/// (volatile metrics excluded). The retained event stream is *not*
+/// included — that is what [`telemetry_trace_json`] exports — so this
+/// projection is small enough to ride inside the table reports and is
+/// byte-identical at any thread count.
+pub fn telemetry_summary_json(t: &npqm_core::telemetry::TelemetryReport) -> Json {
+    Json::obj([
+        ("ring_capacity", t.ring_capacity.to_json()),
+        ("retained_events", t.events.len().to_json()),
+        ("overflow_events", t.overflow_events.to_json()),
+        ("counts", t.counts.to_json()),
+        ("refused_pkts", t.refused_pkts.to_json()),
+        ("evicted_pkts", t.evicted_pkts.to_json()),
+        ("taxonomy", t.taxonomy.to_json()),
+        (
+            "epoch_metrics",
+            Json::Arr(
+                t.epoch_metrics
+                    .iter()
+                    .map(|(epoch, reg)| {
+                        Json::obj([
+                            ("epoch", epoch.to_json()),
+                            ("metrics", metrics_registry_json(reg, false)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "final_metrics",
+            metrics_registry_json(&t.final_metrics, false),
+        ),
+    ])
+}
+
+/// Virtual picoseconds as `trace_event` microseconds (the unit Chrome's
+/// JSON schema mandates for `ts`/`dur`).
+fn ps_to_us(ps: u64) -> Json {
+    Json::Num(ps as f64 / 1e6)
+}
+
+/// Exports a merged telemetry report as a Chrome `trace_event` JSON
+/// document (the "JSON Array Format" with an object wrapper), loadable
+/// directly in `ui.perfetto.dev` or `chrome://tracing`.
+///
+/// Mapping: each shard becomes a process (`pid` = shard index, named via
+/// a `process_name` metadata record); admissions, drops, evictions,
+/// scheduler selections and epoch boundaries are thread-scoped instant
+/// events (`ph: "i"`, `s: "t"`); deliveries and memory-model
+/// transactions are complete events (`ph: "X"`) spanning their modeled
+/// duration — a delivery spans from enqueue to egress completion, a
+/// memory transaction spans its priced cost; drops and evictions also
+/// emit an `occupancy` counter track (`ph: "C"`) so buffer pressure is
+/// visible as a graph. All timestamps are **virtual time** (simulation
+/// picoseconds rendered as microseconds), so the trace is byte-identical
+/// at any worker-thread count.
+pub fn telemetry_trace_json(t: &npqm_core::telemetry::TelemetryReport, label: &str) -> Json {
+    use npqm_core::telemetry::EventKind;
+    let mut events = Vec::new();
+    let mut shards: Vec<u32> = t.events.iter().map(|e| e.shard).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    for &shard in &shards {
+        events.push(Json::obj([
+            ("name", "process_name".to_json()),
+            ("ph", "M".to_json()),
+            ("pid", shard.to_json()),
+            ("tid", 0.to_json()),
+            (
+                "args",
+                Json::obj([("name", format!("shard {shard}").to_json())]),
+            ),
+        ]));
+    }
+    for ev in &t.events {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("name".to_string(), ev.kind.name().to_json()),
+            ("pid".to_string(), ev.shard.to_json()),
+            ("tid".to_string(), 0.to_json()),
+        ];
+        let mut counter: Option<u32> = None;
+        match &ev.kind {
+            EventKind::Admit { flow, bytes } => {
+                fields.push(("ph".to_string(), "i".to_json()));
+                fields.push(("s".to_string(), "t".to_json()));
+                fields.push(("ts".to_string(), ps_to_us(ev.at.as_u64())));
+                fields.push((
+                    "args".to_string(),
+                    Json::obj([
+                        ("flow", flow.index().to_json()),
+                        ("bytes", (*bytes).to_json()),
+                    ]),
+                ));
+            }
+            EventKind::Drop {
+                flow,
+                bytes,
+                cause,
+                queue_depth,
+                occupancy,
+            } => {
+                fields.push(("ph".to_string(), "i".to_json()));
+                fields.push(("s".to_string(), "t".to_json()));
+                fields.push(("ts".to_string(), ps_to_us(ev.at.as_u64())));
+                fields.push((
+                    "args".to_string(),
+                    Json::obj([
+                        ("flow", flow.index().to_json()),
+                        ("bytes", (*bytes).to_json()),
+                        ("cause", cause.label().to_json()),
+                        ("queue_depth", (*queue_depth).to_json()),
+                        ("occupancy", (*occupancy).to_json()),
+                    ]),
+                ));
+                counter = Some(*occupancy);
+            }
+            EventKind::Evict {
+                victim,
+                bytes,
+                victim_depth,
+                occupancy,
+            } => {
+                fields.push(("ph".to_string(), "i".to_json()));
+                fields.push(("s".to_string(), "t".to_json()));
+                fields.push(("ts".to_string(), ps_to_us(ev.at.as_u64())));
+                fields.push((
+                    "args".to_string(),
+                    Json::obj([
+                        ("victim", victim.index().to_json()),
+                        ("bytes", (*bytes).to_json()),
+                        ("victim_depth", (*victim_depth).to_json()),
+                        ("occupancy", (*occupancy).to_json()),
+                    ]),
+                ));
+                counter = Some(*occupancy);
+            }
+            EventKind::Deliver {
+                flow,
+                bytes,
+                latency_ns,
+            } => {
+                // The event is stamped at egress completion; the span
+                // covers the packet's whole queueing + transmission life.
+                let dur_ps = latency_ns.saturating_mul(1000);
+                let start_ps = ev.at.as_u64().saturating_sub(dur_ps);
+                fields.push(("ph".to_string(), "X".to_json()));
+                fields.push(("ts".to_string(), ps_to_us(start_ps)));
+                fields.push(("dur".to_string(), ps_to_us(dur_ps)));
+                fields.push((
+                    "args".to_string(),
+                    Json::obj([
+                        ("flow", flow.index().to_json()),
+                        ("bytes", (*bytes).to_json()),
+                        ("latency_ns", (*latency_ns).to_json()),
+                    ]),
+                ));
+            }
+            EventKind::SchedSelect { flow } => {
+                fields.push(("ph".to_string(), "i".to_json()));
+                fields.push(("s".to_string(), "t".to_json()));
+                fields.push(("ts".to_string(), ps_to_us(ev.at.as_u64())));
+                fields.push((
+                    "args".to_string(),
+                    Json::obj([("flow", flow.index().to_json())]),
+                ));
+            }
+            EventKind::MemTx { bytes, cost } => {
+                fields.push(("ph".to_string(), "X".to_json()));
+                fields.push(("ts".to_string(), ps_to_us(ev.at.as_u64())));
+                fields.push(("dur".to_string(), ps_to_us(cost.as_u64())));
+                fields.push((
+                    "args".to_string(),
+                    Json::obj([
+                        ("bytes", (*bytes).to_json()),
+                        ("cost_ps", cost.as_u64().to_json()),
+                    ]),
+                ));
+            }
+            EventKind::Epoch { epoch } => {
+                fields.push(("ph".to_string(), "i".to_json()));
+                fields.push(("s".to_string(), "t".to_json()));
+                fields.push(("ts".to_string(), ps_to_us(ev.at.as_u64())));
+                fields.push((
+                    "args".to_string(),
+                    Json::obj([("epoch", (*epoch).to_json())]),
+                ));
+            }
+        }
+        events.push(Json::Obj(fields));
+        if let Some(occ) = counter {
+            events.push(Json::obj([
+                ("name", "occupancy".to_json()),
+                ("ph", "C".to_json()),
+                ("ts", ps_to_us(ev.at.as_u64())),
+                ("pid", ev.shard.to_json()),
+                ("args", Json::obj([("segments", occ.to_json())])),
+            ]));
+        }
+    }
+    Json::obj([
+        ("displayTimeUnit", "ns".to_json()),
+        (
+            "otherData",
+            Json::obj([
+                ("label", label.to_json()),
+                ("summary", telemetry_summary_json(t)),
+            ]),
+        ),
+        ("traceEvents", Json::Arr(events)),
     ])
 }
 
@@ -944,6 +1227,82 @@ mod tests {
         assert_eq!(items[3].as_bool(), Some(true));
         assert_eq!(doc.get("missing"), None);
         assert_eq!(doc.entries().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_trace_exports_perfetto_loadable_json() {
+        use npqm_core::limits::DropReason;
+        use npqm_core::telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
+        use npqm_core::FlowId;
+        use npqm_sim::time::Picos;
+
+        let mut a = Telemetry::new(TelemetryConfig::default());
+        let mut b = Telemetry::new(TelemetryConfig::default());
+        a.record_admit(Picos::from_nanos(10), FlowId::new(0), 64);
+        a.record_deliver(Picos::from_nanos(200), FlowId::new(0), 64, 190);
+        b.record_drop(
+            Picos::from_nanos(20),
+            "lqd",
+            DropReason::GlobalReserve,
+            FlowId::new(1),
+            128,
+            4,
+            40,
+        );
+        b.record_evict(Picos::from_nanos(30), "lqd", FlowId::new(2), 64, 1, 39);
+        b.record_mem_tx(Picos::from_nanos(40), 64, Picos::from_nanos(8));
+        b.record_epoch(Picos::from_nanos(50), 0);
+        b.record_sched_select(Picos::from_nanos(60), FlowId::new(2));
+        let rep = TelemetryReport::merge([(0u32, &a), (1u32, &b)]);
+
+        let doc = telemetry_trace_json(&rep, "unit");
+        // Loadable shape: traceEvents array + displayTimeUnit.
+        assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 process_name metadata + 7 events + 2 occupancy counters.
+        assert_eq!(events.len(), 11);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "C").count(), 2);
+        // The delivery span starts at enqueue time: 200ns end - 190ns dur.
+        let deliver = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("deliver"))
+            .unwrap();
+        assert_eq!(deliver.get("ts").unwrap().as_f64(), Some(0.01));
+        assert_eq!(deliver.get("dur").unwrap().as_f64(), Some(0.19));
+        // The whole document survives a strict parse round trip.
+        let parsed = Json::parse(&doc.pretty()).expect("trace parses");
+        assert_eq!(parsed, doc);
+        // The embedded summary reconciles with the recorders.
+        let summary = doc.get("otherData").unwrap().get("summary").unwrap();
+        let counts = summary.get("counts").unwrap();
+        assert_eq!(counts.get("admits").unwrap().as_i64(), Some(1));
+        assert_eq!(counts.get("drops").unwrap().as_i64(), Some(1));
+        assert_eq!(counts.get("evictions").unwrap().as_i64(), Some(1));
+        assert_eq!(summary.get("refused_pkts").unwrap().as_i64(), Some(1));
+        assert_eq!(summary.get("evicted_pkts").unwrap().as_i64(), Some(1));
+        let tax = summary.get("taxonomy").unwrap().as_arr().unwrap();
+        assert_eq!(tax.len(), 2);
+        assert_eq!(tax[0].get("policy").unwrap().as_str(), Some("lqd"));
+    }
+
+    #[test]
+    fn metrics_registry_json_excludes_volatile_metrics() {
+        use npqm_core::telemetry::MetricsRegistry;
+        let mut reg = MetricsRegistry::new();
+        reg.counter("qm.enqueues", 42);
+        reg.gauge("service.goodput_gbps", 1.5);
+        reg.volatile_counter("parallel.steals", 7);
+        let det = metrics_registry_json(&reg, false);
+        assert_eq!(det.get("qm.enqueues").unwrap().as_i64(), Some(42));
+        assert!(det.get("parallel.steals").is_none());
+        let full = metrics_registry_json(&reg, true);
+        assert_eq!(full.get("parallel.steals").unwrap().as_i64(), Some(7));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use npqm_core::policy::DynamicThreshold;
 use npqm_core::sched::{drain_next, HtbClass, HtbScheduler, HtbTreeBuilder};
+use npqm_core::telemetry::TelemetryConfig;
 use npqm_core::{FlowId, QmConfig, QueueManager};
 use npqm_sim::rng::Xoshiro256pp;
 use npqm_traffic::pipeline::{PipelineConfig, ShardedPipelineReport};
@@ -91,7 +92,23 @@ pub fn trunk_cfg(seed: u64, loads: &[f64; TENANTS]) -> PipelineConfig {
 /// One trunk run: HTB tenant tree, or the flat per-flow DRR
 /// counterfactual that ignores tenancy.
 pub fn run_trunk(seed: u64, loads: &[f64; TENANTS], htb: bool) -> ShardedPipelineReport {
-    let b = PipelineBuilder::new(&trunk_cfg(seed, loads)).admission(|_| DynamicThreshold::new(2.0));
+    run_trunk_observed(seed, loads, htb, None)
+}
+
+/// [`run_trunk`] with optional deterministic telemetry: `Some` records
+/// virtual-time trace events (admissions, drops, HTB leaf selections,
+/// deliveries) and the drop-attribution ledger without perturbing the
+/// run — the `table11 --trace` mode gates that the observed report is
+/// byte-identical to [`run_trunk`]'s.
+pub fn run_trunk_observed(
+    seed: u64,
+    loads: &[f64; TENANTS],
+    htb: bool,
+    telemetry: Option<TelemetryConfig>,
+) -> ShardedPipelineReport {
+    let mut cfg = trunk_cfg(seed, loads);
+    cfg.telemetry = telemetry;
+    let b = PipelineBuilder::new(&cfg).admission(|_| DynamicThreshold::new(2.0));
     if htb {
         b.egress_htb(tenant_tree()).run()
     } else {

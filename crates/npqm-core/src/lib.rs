@@ -59,6 +59,7 @@ pub mod sar;
 pub mod sched;
 pub mod shard;
 pub mod stats;
+pub mod telemetry;
 pub mod timing;
 
 pub use arena::{ArenaConfig, ArenaPacket, ArenaReport, ArenaTrace, OfflineBound, ServiceModel};
@@ -79,6 +80,10 @@ pub use sched::{
 pub use shard::parallel::{GlobalDropPolicy, GlobalLqd, GlobalOccupancy};
 pub use shard::{ShardedAdmission, ShardedInvariantReport, ShardedQueueManager};
 pub use stats::{ParallelStats, QmStats};
+pub use telemetry::{
+    DropCause, DropLedger, EventCounts, EventKind, MetricsRegistry, Telemetry, TelemetryConfig,
+    TelemetryReport, TraceEvent,
+};
 pub use timing::{
     BatchCost, CommandCost, MemoryChannels, MemoryModel, PaperTiming, TimingConfig, Uncosted,
 };

@@ -281,6 +281,12 @@ impl QueueManager {
         self.seg_fl.free_count()
     }
 
+    /// Number of data-memory segments currently in use (buffer
+    /// occupancy); the complement of [`free_segments`](Self::free_segments).
+    pub fn occupied_segments(&self) -> u32 {
+        self.cfg.num_segments() - self.seg_fl.free_count()
+    }
+
     /// Lowest free-segment count ever observed.
     pub fn free_segments_low_watermark(&self) -> u32 {
         self.seg_fl.low_watermark()

@@ -474,6 +474,35 @@ mod tests {
     }
 
     #[test]
+    fn histogram_single_sample_reports_its_bucket_upper_bound() {
+        let mut h = Histogram::new(8, 10);
+        h.record(34); // bucket 3 covers [30, 40)
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(39), "q={q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturation_pins_quantiles_to_max() {
+        let mut h = Histogram::new(4, 100);
+        // Everything lands at or beyond the range: pure overflow, so
+        // even the median is only known to be "past the last bucket".
+        for v in [400, 401, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.overflow(), 4);
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        // One in-range value restores a finite low quantile while the
+        // tail stays pinned.
+        h.record(399);
+        assert_eq!(h.quantile(0.1), Some(399));
+        assert_eq!(h.quantile(0.9), Some(u64::MAX));
+    }
+
+    #[test]
     fn utilization_loss() {
         let mut u = Utilization::new();
         assert_eq!(u.fraction(), 0.0);

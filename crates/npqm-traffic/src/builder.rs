@@ -20,6 +20,7 @@ use crate::pipeline::{
 };
 use npqm_core::policy::{DropPolicy, DynamicThreshold};
 use npqm_core::sched::{from_spec, FlowScheduler, HtbScheduler};
+use npqm_core::telemetry::TelemetryConfig;
 use npqm_core::timing::TimingConfig;
 
 type PolicyFactory = Box<dyn FnMut(usize) -> Box<dyn DropPolicy + Send>>;
@@ -133,6 +134,17 @@ impl PipelineBuilder {
         F: FnMut(usize) -> P + 'static,
     {
         self.admission = AdmissionSel::Local(Box::new(move |shard| Box::new(mk_policy(shard))));
+        self
+    }
+
+    /// Enables the deterministic telemetry layer
+    /// ([`npqm_core::telemetry`]): the run records virtual-time trace
+    /// events, a drop-attribution ledger and a metrics registry into
+    /// the report's `telemetry` field. Behaviour-neutral — the traced
+    /// run's reports and digests are byte-identical to an untraced one.
+    #[must_use]
+    pub fn observe(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = Some(telemetry);
         self
     }
 

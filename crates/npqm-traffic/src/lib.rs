@@ -83,8 +83,7 @@ pub use arrival::ArrivalProcess;
 pub use builder::PipelineBuilder;
 pub use flows::FlowMix;
 pub use packet::{AtmCell, EthernetFrame, Ipv4Packet, MacAddr, VlanTag};
-#[allow(deprecated)]
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport, PolicyOutcome};
+pub use pipeline::{PipelineConfig, PipelineReport, PolicyOutcome};
 pub use service::{run_service, run_service_observed, ServiceConfig, ServiceReport};
 pub use size::SizeDistribution;
 pub use trace::{Trace, TraceRecord};

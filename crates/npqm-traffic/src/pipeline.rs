@@ -59,6 +59,7 @@ use npqm_core::policy::{DropPolicy, DynamicThreshold, LongestQueueDrop};
 use npqm_core::sched::{DeficitRoundRobin, FlowScheduler};
 use npqm_core::shard::parallel::{GlobalDropPolicy, GlobalLqd};
 use npqm_core::shard::ShardedQueueManager;
+use npqm_core::telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
 use npqm_core::timing::{MemoryModel, PaperTiming, TimingConfig};
 use npqm_core::{FlowId, QmConfig, QueueManager};
 use npqm_sim::stats::MeanVar;
@@ -85,6 +86,12 @@ pub struct PipelineConfig {
     /// RNG seed (arrival jitter, sizes and flow choice are all derived
     /// from it, so a run is a pure function of this configuration).
     pub seed: u64,
+    /// Deterministic observability (see [`npqm_core::telemetry`]):
+    /// `Some` records virtual-time trace events, a metrics registry and
+    /// a drop-attribution ledger into the report's `telemetry` field.
+    /// `None` (the default) costs one branch on the hot paths and is
+    /// proven behaviour-neutral by `state_digest` equality.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl PipelineConfig {
@@ -106,6 +113,7 @@ impl PipelineConfig {
             egress_gbps: 2.0,
             duration: Picos::from_micros(1),
             seed,
+            telemetry: None,
         }
     }
 
@@ -133,6 +141,7 @@ impl PipelineConfig {
             egress_gbps: 6.0,
             duration: Picos::from_micros(2_000),
             seed,
+            telemetry: None,
         }
     }
 
@@ -190,6 +199,12 @@ pub struct PipelineReport {
     /// only (their payload is gone by eviction time). Any mismatch means
     /// a torn or cross-linked packet. Always 0 on a healthy engine.
     pub integrity_violations: u64,
+    /// This loop's telemetry recorder (events, counts, drop ledger),
+    /// populated when the run was configured with
+    /// [`PipelineConfig::telemetry`]. `None` on untraced runs and on
+    /// merged aggregate reports (the merged view lives in
+    /// [`ShardedPipelineReport::telemetry`]).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl PipelineReport {
@@ -380,7 +395,7 @@ where
     // per-flow queues are FIFO, so admissions push at the back,
     // evictions pop at the front, service pops at the front) and the
     // scratch payload buffer, shared with the streaming service loops.
-    let mut st = LoopState::new(flows, cfg.sizes.max_bytes());
+    let mut st = LoopState::new(flows, cfg.sizes.max_bytes()).with_telemetry(cfg.telemetry);
     let mut server_busy = false;
 
     let first = arrivals.next_arrival();
@@ -405,6 +420,7 @@ where
                         &mut ev,
                         egress,
                         &mut st.report.integrity_violations,
+                        &mut st.tel,
                         |flow, bytes, enqueued_at| Ev::TxDone {
                             shard: 0,
                             flow,
@@ -428,6 +444,7 @@ where
                     &mut ev,
                     egress,
                     &mut st.report.integrity_violations,
+                    &mut st.tel,
                     |flow, bytes, enqueued_at| Ev::TxDone {
                         shard: 0,
                         flow,
@@ -455,6 +472,7 @@ where
 /// event type so the dense loop, the per-shard loops, the coupled
 /// global-admission loop and the streaming service loops share one
 /// service path.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn start_service<S: FlowScheduler + ?Sized, E>(
     qm: &mut QueueManager,
     sched: &mut S,
@@ -462,6 +480,7 @@ pub(crate) fn start_service<S: FlowScheduler + ?Sized, E>(
     ev: &mut EventQueue<E>,
     egress: &mut Egress<'_>,
     integrity_violations: &mut u64,
+    tel: &mut Option<Telemetry>,
     mk_txdone: impl FnOnce(FlowId, u32, Picos) -> E,
 ) -> bool {
     let Some(flow) = sched.next_flow(qm) else {
@@ -479,6 +498,14 @@ pub(crate) fn start_service<S: FlowScheduler + ?Sized, E>(
         *integrity_violations += 1;
     }
     let tx = egress.tx_time(qm, pkt.len());
+    if let Some(t) = tel {
+        // The scheduler decision and (in memory-timed mode) the modeled
+        // service cost, stamped at the service start instant.
+        t.record_sched_select(ev.now(), flow);
+        if matches!(egress, Egress::Memory(_)) {
+            t.record_mem_tx(ev.now(), pkt.len() as u32, tx);
+        }
+    }
     ev.schedule_in(tx, mk_txdone(flow, pkt.len() as u32, slot.enqueued_at));
     true
 }
@@ -495,6 +522,10 @@ pub struct ShardedPipelineReport {
     /// Home shard of each flow, as routed by
     /// [`ShardedQueueManager::shard_of`].
     pub shard_of_flow: Vec<usize>,
+    /// Per-shard telemetry merged into one deterministic view (events
+    /// ordered by virtual time, taxonomy and counters summed). `None`
+    /// when the run was untraced.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Merges per-shard reports into the aggregate view, stamping every
@@ -537,10 +568,21 @@ pub(crate) fn assemble_sharded_report(
         aggregate.integrity_violations += sr.integrity_violations;
     }
     aggregate.makespan = makespan;
+    let telemetry = if shards.iter().any(|sr| sr.telemetry.is_some()) {
+        Some(TelemetryReport::merge(
+            shards
+                .iter()
+                .enumerate()
+                .filter_map(|(s, sr)| sr.telemetry.as_ref().map(|t| (s as u32, t))),
+        ))
+    } else {
+        None
+    };
     ShardedPipelineReport {
         shards,
         aggregate,
         shard_of_flow,
+        telemetry,
     }
 }
 
@@ -749,6 +791,9 @@ where
     let mut next_arrival = 0usize;
     let mut server_busy = vec![false; num_shards];
     let mut egress = Egress::Line(per_shard_gbps);
+    // The coupled loop is inherently serial, so one recorder observes
+    // the whole engine (merged below under shard tag 0).
+    let mut tel: Option<Telemetry> = cfg.telemetry.map(Telemetry::new);
 
     if let Some(first) = trace.first() {
         ev.schedule(first.at, Ev::Arrival);
@@ -766,10 +811,10 @@ where
                 payload[0] = marker;
                 shards[shard].flows[flow.as_usize()].offered_pkts += 1;
                 shards[shard].flows[flow.as_usize()].offered_bytes += size as u64;
-                let (evicted, admitted) =
+                let (evicted, admitted, refused) =
                     match policy.offer_global(&mut engine, flow, &payload[..size]) {
-                        Ok(admission) => (admission.evicted, true),
-                        Err(refusal) => (refusal.evicted, false),
+                        Ok(admission) => (admission.evicted, true, None),
+                        Err(refusal) => (refusal.evicted, false, Some(refusal.reason)),
                     };
                 for (victim, bytes) in evicted {
                     // Global push-out: the victim may live on any shard;
@@ -782,6 +827,15 @@ where
                         shards[vshard].integrity_violations += 1;
                     }
                     shards[vshard].flows[victim.as_usize()].evicted_pkts += 1;
+                    if let Some(t) = &mut tel {
+                        let depth = engine.shard_mut(vshard).queue_len_segments(victim);
+                        let occ: u32 = engine
+                            .shards_mut()
+                            .iter()
+                            .map(|q| q.occupied_segments())
+                            .sum();
+                        t.record_evict(now, policy.name(), victim, bytes, depth, occ);
+                    }
                 }
                 if admitted {
                     ledger[flow.as_usize()].push_back(Slot {
@@ -790,8 +844,21 @@ where
                         marker,
                     });
                     shards[shard].flows[flow.as_usize()].admitted_pkts += 1;
+                    if let Some(t) = &mut tel {
+                        t.record_admit(now, flow, size as u32);
+                    }
                 } else {
                     shards[shard].flows[flow.as_usize()].dropped_pkts += 1;
+                    if let Some(t) = &mut tel {
+                        let reason = refused.expect("refusal carries its reason");
+                        let depth = engine.shard_mut(shard).queue_len_segments(flow);
+                        let occ: u32 = engine
+                            .shards_mut()
+                            .iter()
+                            .map(|q| q.occupied_segments())
+                            .sum();
+                        t.record_drop(now, policy.name(), reason, flow, size as u32, depth, occ);
+                    }
                 }
                 if let Some(next) = trace.get(next_arrival) {
                     ev.schedule(next.at, Ev::Arrival);
@@ -804,6 +871,7 @@ where
                         &mut ev,
                         &mut egress,
                         &mut shards[shard].integrity_violations,
+                        &mut tel,
                         |flow, bytes, enqueued_at| Ev::TxDone {
                             shard,
                             flow,
@@ -823,6 +891,9 @@ where
                 fr.delivered_pkts += 1;
                 fr.delivered_bytes += bytes as u64;
                 fr.latency_ns.push((now - enqueued_at).as_nanos_f64());
+                if let Some(t) = &mut tel {
+                    t.record_deliver(now, flow, bytes, (now - enqueued_at).as_u64() / 1000);
+                }
                 server_busy[shard] = start_service(
                     engine.shard_mut(shard),
                     &mut scheds[shard],
@@ -830,6 +901,7 @@ where
                     &mut ev,
                     &mut egress,
                     &mut shards[shard].integrity_violations,
+                    &mut tel,
                     |flow, bytes, enqueued_at| Ev::TxDone {
                         shard,
                         flow,
@@ -860,7 +932,20 @@ where
         engine.verify().is_ok(),
         "cross-shard invariants violated after drain"
     );
-    assemble_sharded_report(shards, shard_of_flow, flows)
+    let mut rep = assemble_sharded_report(shards, shard_of_flow, flows);
+    rep.telemetry = tel.map(|mut t| {
+        let mut reg = npqm_core::telemetry::MetricsRegistry::new();
+        let mut qm_total = npqm_core::QmStats::default();
+        for qm in engine.shards_mut().iter() {
+            qm_total.absorb(qm.stats());
+        }
+        reg.record_qm("qm.", &qm_total);
+        let counts = *t.counts();
+        reg.record_event_counts("trace.", &counts);
+        t.set_final_metrics(reg);
+        TelemetryReport::merge([(0u32, &t)])
+    });
+    rep
 }
 
 /// One named policy's outcome in a comparison run.
@@ -1234,6 +1319,67 @@ mod tests {
         assert_eq!(r.offered_bytes, r.offered_pkts * 9000);
         assert_eq!(r.delivered_bytes, r.delivered_pkts * 9000);
         assert_eq!(r.integrity_violations, 0);
+    }
+
+    // Deprecation coverage: each legacy wrapper must keep delegating to
+    // the same loop the builder runs, until the wrappers are removed.
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_pipeline_still_matches_the_dense_loop() {
+        let cfg = PipelineConfig::small_demo(19);
+        let mut p1 = DynamicThreshold::new(2.0);
+        let mut s1 = DeficitRoundRobin::new(vec![1518; 4]);
+        let legacy = run_pipeline(&cfg, &mut p1, &mut s1);
+        let mut p2 = DynamicThreshold::new(2.0);
+        let mut s2 = DeficitRoundRobin::new(vec![1518; 4]);
+        let direct = dense_impl(&cfg, &mut p2, &mut s2);
+        assert_eq!(format!("{legacy:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_timed_pipeline_still_matches_the_timed_loop() {
+        let cfg = PipelineConfig::small_demo(23);
+        let timing = TimingConfig::paper(4);
+        let mut p1 = DynamicThreshold::new(2.0);
+        let mut s1 = DeficitRoundRobin::new(vec![1518; 4]);
+        let legacy = run_timed_pipeline(&cfg, &mut p1, &mut s1, &timing);
+        let mut p2 = DynamicThreshold::new(2.0);
+        let mut s2 = DeficitRoundRobin::new(vec![1518; 4]);
+        let direct = timed_impl(&cfg, &mut p2, &mut s2, &timing);
+        assert_eq!(format!("{legacy:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_sharded_pipeline_still_matches_the_sharded_loop() {
+        let cfg = PipelineConfig::bursty_overload(29);
+        let legacy = run_sharded_pipeline(
+            &cfg,
+            2,
+            false,
+            |_| DynamicThreshold::new(2.0),
+            |_| DeficitRoundRobin::new(vec![1518; 16]),
+        );
+        let direct = sharded_impl(
+            &cfg,
+            2,
+            false,
+            |_| DynamicThreshold::new(2.0),
+            |_| DeficitRoundRobin::new(vec![1518; 16]),
+        );
+        assert_eq!(format!("{legacy:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_global_lqd_wrapper_still_matches_the_coupled_loop() {
+        let cfg = PipelineConfig::bursty_overload(31);
+        let legacy =
+            run_sharded_pipeline_global_lqd(&cfg, 2, 0, |_| DeficitRoundRobin::new(vec![1518; 16]));
+        let direct = global_lqd_impl(&cfg, 2, 0, |_| DeficitRoundRobin::new(vec![1518; 16]));
+        assert_eq!(format!("{legacy:?}"), format!("{direct:?}"));
     }
 
     #[test]

@@ -86,6 +86,7 @@ use npqm_core::check::{fnv1a_fold, state_digest, FNV_OFFSET_BASIS};
 use npqm_core::policy::DropPolicy;
 use npqm_core::sched::FlowScheduler;
 use npqm_core::shard::ShardedQueueManager;
+use npqm_core::telemetry::{MetricsRegistry, Telemetry, TelemetryConfig, TelemetryReport};
 use npqm_core::{FlowId, QmConfig, QueueManager};
 use npqm_sim::epoch::EpochClock;
 use npqm_sim::rng::Xoshiro256pp;
@@ -216,6 +217,9 @@ pub(crate) struct LoopState {
     pub(crate) report: PipelineReport,
     pub(crate) ledger: Vec<VecDeque<Slot>>,
     payload: Vec<u8>,
+    /// The loop's telemetry recorder; [`finish`](Self::finish) moves it
+    /// into the report. `None` (untraced) costs one branch per event.
+    pub(crate) tel: Option<Telemetry>,
 }
 
 /// What an arrival did, for window accounting.
@@ -235,7 +239,14 @@ impl LoopState {
             // Scratch payload sized to the largest packet the
             // distribution can draw, so no sampled size is truncated.
             payload: vec![0xA5u8; max_bytes as usize],
+            tel: None,
         }
+    }
+
+    /// Enables telemetry recording when `cfg` is `Some`.
+    pub(crate) fn with_telemetry(mut self, cfg: Option<TelemetryConfig>) -> Self {
+        self.tel = cfg.map(Telemetry::new);
+        self
     }
 
     /// Offers one packet to `policy`, keeping the ledger in sync with
@@ -257,9 +268,9 @@ impl LoopState {
         let fr = &mut self.report.flows[flow.as_usize()];
         fr.offered_pkts += 1;
         fr.offered_bytes += size as u64;
-        let (evicted, admitted) = match policy.offer(qm, flow, &self.payload[..size]) {
-            Ok(admission) => (admission.evicted, true),
-            Err(refusal) => (refusal.evicted, false),
+        let (evicted, admitted, refused) = match policy.offer(qm, flow, &self.payload[..size]) {
+            Ok(admission) => (admission.evicted, true, None),
+            Err(refusal) => (refusal.evicted, false, Some(refusal.reason)),
         };
         let mut evicted_n = 0u64;
         for (victim, bytes) in evicted {
@@ -271,6 +282,18 @@ impl LoopState {
             }
             self.report.flows[victim.as_usize()].evicted_pkts += 1;
             evicted_n += 1;
+            if let Some(t) = &mut self.tel {
+                // Victim depth and occupancy observed just after the
+                // push-out — the state the policy's decision produced.
+                t.record_evict(
+                    now,
+                    policy.name(),
+                    victim,
+                    bytes,
+                    qm.queue_len_segments(victim),
+                    qm.occupied_segments(),
+                );
+            }
         }
         if admitted {
             self.ledger[flow.as_usize()].push_back(Slot {
@@ -279,8 +302,23 @@ impl LoopState {
                 marker,
             });
             self.report.flows[flow.as_usize()].admitted_pkts += 1;
+            if let Some(t) = &mut self.tel {
+                t.record_admit(now, flow, size as u32);
+            }
         } else {
             self.report.flows[flow.as_usize()].dropped_pkts += 1;
+            if let Some(t) = &mut self.tel {
+                let reason = refused.expect("refusal carries its reason");
+                t.record_drop(
+                    now,
+                    policy.name(),
+                    reason,
+                    flow,
+                    size as u32,
+                    qm.queue_len_segments(flow),
+                    qm.occupied_segments(),
+                );
+            }
         }
         ArrivalOutcome {
             admitted,
@@ -302,7 +340,11 @@ impl LoopState {
         fr.delivered_bytes += bytes as u64;
         let delta = now - enqueued_at;
         fr.latency_ns.push(delta.as_nanos_f64());
-        delta.as_u64() / 1000
+        let lat_ns = delta.as_u64() / 1000;
+        if let Some(t) = &mut self.tel {
+            t.record_deliver(now, flow, bytes, lat_ns);
+        }
+        lat_ns
     }
 
     /// Stamps the makespan and folds the per-flow reports into the
@@ -320,6 +362,7 @@ impl LoopState {
             self.report.latency_ns.merge(&fr.latency_ns);
         }
         self.report.flows = flows;
+        self.report.telemetry = self.tel.take();
     }
 
     fn buffered_pkts(&self) -> u64 {
@@ -352,7 +395,7 @@ where
 {
     let flows = cfg.mix.flows();
     let mut ev: EventQueue<SEv> = EventQueue::new();
-    let mut st = LoopState::new(flows, cfg.sizes.max_bytes());
+    let mut st = LoopState::new(flows, cfg.sizes.max_bytes()).with_telemetry(cfg.telemetry);
     let mut server_busy = false;
     let mut egress = Egress::Line(gbps);
 
@@ -378,6 +421,7 @@ where
                         &mut ev,
                         &mut egress,
                         &mut st.report.integrity_violations,
+                        &mut st.tel,
                         |flow, bytes, enqueued_at| SEv::TxDone {
                             flow,
                             bytes,
@@ -399,6 +443,7 @@ where
                     &mut ev,
                     &mut egress,
                     &mut st.report.integrity_violations,
+                    &mut st.tel,
                     |flow, bytes, enqueued_at| SEv::TxDone {
                         flow,
                         bytes,
@@ -454,6 +499,12 @@ pub struct ServiceConfig {
     /// RNG seed; a run's deterministic outputs are a pure function of
     /// this configuration.
     pub seed: u64,
+    /// Deterministic observability (see [`npqm_core::telemetry`]):
+    /// `Some` records per-shard virtual-time trace events, per-epoch
+    /// metric snapshots and a drop-attribution ledger into
+    /// [`ServiceReport::telemetry`]. Behaviour-neutral by construction
+    /// (proven by `state_digest` equality against an untraced run).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ServiceConfig {
@@ -484,6 +535,7 @@ impl ServiceConfig {
             latency_bucket_ns: 10_000,
             latency_buckets: 128,
             seed,
+            telemetry: None,
         }
     }
 
@@ -517,6 +569,7 @@ impl ServiceConfig {
             latency_bucket_ns: 20_000,
             latency_buckets: 1024,
             seed: 42,
+            telemetry: None,
         }
     }
 
@@ -788,7 +841,8 @@ where
             qm,
             policy,
             sched,
-            st: LoopState::new(cfg.mix.flows(), cfg.sizes.max_bytes()),
+            st: LoopState::new(cfg.mix.flows(), cfg.sizes.max_bytes())
+                .with_telemetry(cfg.telemetry),
             ev: EventQueue::new(),
             clock: EpochClock::new(cfg.epoch),
             cur: EpochWindow::new(0, cfg.latency_buckets, cfg.latency_bucket_ns),
@@ -837,6 +891,27 @@ where
                 &mut self.cur,
                 EpochWindow::new(e + 1, self.cfg.latency_buckets, self.cfg.latency_bucket_ns),
             );
+            if let Some(tel) = &mut self.st.tel {
+                // The boundary event and a cumulative metrics snapshot,
+                // taken at the same pre-event instant as the digest
+                // above (telemetry reads the engine, never touches it).
+                let at = self.clock.boundary(e);
+                tel.record_epoch(at, e);
+                let mut reg = MetricsRegistry::new();
+                reg.record_qm("qm.", self.qm.stats());
+                reg.record_ptr("ptr.", &self.qm.ptr_counters());
+                reg.counter("service.window.offered_pkts", w.offered_pkts);
+                reg.counter("service.window.admitted_pkts", w.admitted_pkts);
+                reg.counter("service.window.dropped_pkts", w.dropped_pkts);
+                reg.counter("service.window.evicted_pkts", w.evicted_pkts);
+                reg.counter("service.window.delivered_pkts", w.delivered_pkts);
+                reg.counter("service.window.delivered_bytes", w.delivered_bytes);
+                reg.gauge(
+                    "qm.occupied_segments",
+                    f64::from(self.qm.occupied_segments()),
+                );
+                tel.snapshot_metrics(e, reg);
+            }
             obs(self.shard, &w);
             self.windows.push(w);
         }
@@ -852,6 +927,7 @@ where
             &mut self.ev,
             &mut egress,
             &mut self.st.report.integrity_violations,
+            &mut self.st.tel,
             |flow, bytes, enqueued_at| TxEv {
                 flow,
                 bytes,
@@ -915,6 +991,16 @@ where
             );
             obs(self.shard, &w);
             self.windows.push(w);
+        }
+        if let Some(tel) = &mut self.st.tel {
+            // End-of-run snapshot: the reconciliation basis the bins and
+            // property tests check trace counts against.
+            let counts = *tel.counts();
+            let mut reg = MetricsRegistry::new();
+            reg.record_qm("qm.", self.qm.stats());
+            reg.record_ptr("ptr.", &self.qm.ptr_counters());
+            reg.record_event_counts("trace.", &counts);
+            tel.set_final_metrics(reg);
         }
         self.st.finish(self.ev.now());
         self.final_digest = shard_state_digest(self.qm, &self.st.ledger);
@@ -1065,6 +1151,10 @@ pub struct ServiceReport {
     pub critical_path: Duration,
     /// Wall-clock duration of the whole run.
     pub wall_clock: Duration,
+    /// Per-shard telemetry merged into one deterministic view: events in
+    /// virtual-time order, drop taxonomy, per-epoch and final metric
+    /// snapshots. `None` when [`ServiceConfig::telemetry`] was `None`.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl ServiceReport {
@@ -1254,6 +1344,7 @@ where
     }
 
     ServiceReport {
+        telemetry: assembled.telemetry,
         ring_full_events: shards.iter().map(|s| s.ring_full_events).sum(),
         reorder_peak: shards.iter().map(|s| s.reorder_peak).max().unwrap_or(0),
         segments_processed: shards.iter().map(|s| s.segments_processed).sum(),
@@ -1625,6 +1716,36 @@ mod tests {
             |_| DynamicThreshold::new(2.0),
             |_| DeficitRoundRobin::new(vec![1518; 8]),
         )
+    }
+
+    #[test]
+    fn empty_epoch_window_has_no_quantiles() {
+        let w = EpochWindow::new(3, 64, 1_000);
+        assert_eq!(w.p50_ns(), None);
+        assert_eq!(w.p99_ns(), None);
+        assert_eq!(w.p999_ns(), None);
+        assert_eq!(w.goodput_gbps(Picos::from_micros(1)), 0.0);
+        assert_eq!(w.goodput_gbps(Picos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn single_delivery_window_reports_the_bucket_upper_bound() {
+        let mut w = EpochWindow::new(0, 64, 1_000);
+        w.latency_ns.record(2_345); // bucket [2000, 3000)
+        assert_eq!(w.p50_ns(), Some(2_999));
+        assert_eq!(w.p99_ns(), Some(2_999));
+        assert_eq!(w.p999_ns(), Some(2_999));
+    }
+
+    #[test]
+    fn saturated_window_histogram_pins_quantiles_to_max() {
+        let mut w = EpochWindow::new(0, 4, 1_000);
+        for _ in 0..10 {
+            w.latency_ns.record(50_000); // far past the last bucket
+        }
+        assert_eq!(w.latency_ns.overflow(), 10);
+        assert_eq!(w.p50_ns(), Some(u64::MAX));
+        assert_eq!(w.p999_ns(), Some(u64::MAX));
     }
 
     #[test]

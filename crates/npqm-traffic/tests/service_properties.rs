@@ -8,8 +8,9 @@
 //! windowed counter reconciles exactly (no tolerance) with the
 //! aggregate, and that the per-window latency quantiles are monotone.
 
-use npqm_core::policy::DynamicThreshold;
+use npqm_core::policy::{DynamicThreshold, LongestQueueDrop};
 use npqm_core::sched::from_spec;
+use npqm_core::telemetry::{DropCause, TelemetryConfig};
 use npqm_sim::time::Picos;
 use npqm_traffic::service::{run_service, ServiceConfig, ServiceReport};
 use proptest::prelude::*;
@@ -48,6 +49,12 @@ fn run(cfg: &ServiceConfig, threads: usize) -> ServiceReport {
         |_| DynamicThreshold::new(2.0),
         move |_| from_spec("drr:1518", flows as u32).expect("static spec"),
     )
+}
+
+fn run_traced(cfg: &ServiceConfig, threads: usize) -> ServiceReport {
+    let mut cfg = cfg.clone();
+    cfg.telemetry = Some(TelemetryConfig::with_ring(256));
+    run(&cfg, threads)
 }
 
 proptest! {
@@ -134,6 +141,104 @@ proptest! {
             );
         }
     }
+
+    /// Telemetry is an exact account of the run and never steers it:
+    /// enabling it changes no digest at 1 or 4 threads, the trace event
+    /// counts reconcile exactly with the report and the engine's own
+    /// `QmStats` (via the final metrics registry), the drop ledger
+    /// reconciles with the epoch windows' drop counts, and the merged
+    /// telemetry report itself is byte-identical across thread counts.
+    #[test]
+    fn telemetry_reconciles_exactly_and_never_perturbs(cfg in small_service_config()) {
+        let plain = run(&cfg, 1);
+        let traced = run_traced(&cfg, 1);
+        let threaded = run_traced(&cfg, 4);
+
+        // Zero interference: same digests with telemetry on, serial and
+        // threaded (the same contract as QueueManager::set_tracing).
+        prop_assert_eq!(plain.final_digest, traced.final_digest);
+        prop_assert_eq!(&plain.epoch_digests, &traced.epoch_digests);
+        prop_assert_eq!(traced.final_digest, threaded.final_digest);
+        prop_assert_eq!(&traced.epoch_digests, &threaded.epoch_digests);
+
+        let tel = traced.telemetry.as_ref().expect("telemetry enabled");
+        let a = &traced.aggregate;
+
+        // Trace counts reconcile exactly with the report...
+        prop_assert_eq!(tel.counts.drops, a.dropped_pkts);
+        prop_assert_eq!(tel.counts.evictions, a.evicted_pkts);
+        prop_assert_eq!(tel.counts.deliveries, a.delivered_pkts);
+        prop_assert_eq!(tel.counts.delivered_bytes, a.delivered_bytes);
+        prop_assert_eq!(tel.counts.admits, a.offered_pkts - a.dropped_pkts);
+        // ...and with the engine's own QmStats, snapshotted into the
+        // final metrics registry under qm.* names. bytes_out is exact
+        // (every drained byte was a delivered byte); bytes_in may exceed
+        // admit_bytes by the partial chunks of engine-refused packets
+        // (enqueue_packet rolls the segments back but the op-level
+        // counter keeps them), bounded by the refused packets' bytes.
+        let fm = &tel.final_metrics;
+        let bytes_in = fm.counter_value("qm.bytes_in").expect("qm.* registered");
+        prop_assert!(bytes_in >= tel.counts.admit_bytes);
+        prop_assert!(bytes_in <= tel.counts.admit_bytes + tel.counts.drop_bytes);
+        prop_assert_eq!(fm.counter_value("qm.bytes_out"), Some(tel.counts.delivered_bytes));
+        prop_assert_eq!(fm.counter_value("trace.deliveries"), Some(a.delivered_pkts));
+
+        // The drop ledger reconciles with the epoch windows' counts.
+        let sum = |f: fn(&npqm_traffic::service::EpochWindow) -> u64| -> u64 {
+            traced.windows.iter().map(f).sum()
+        };
+        prop_assert_eq!(tel.refused_pkts, sum(|w| w.dropped_pkts));
+        prop_assert_eq!(tel.evicted_pkts, sum(|w| w.evicted_pkts));
+        let taxonomy_total: u64 = tel.taxonomy.iter().map(|r| r.bucket.count).sum();
+        prop_assert_eq!(taxonomy_total, a.dropped_pkts + a.evicted_pkts);
+
+        // The ring bound holds, exact counts survive any overflow, and
+        // the merged stream is sorted by (time, shard, seq).
+        prop_assert!(tel.events.len() as u64 <= 256 * cfg.shards as u64);
+        prop_assert_eq!(tel.events.len() as u64 + tel.overflow_events, tel.counts.total());
+        for pair in tel.events.windows(2) {
+            let ka = (pair[0].at, pair[0].shard, pair[0].seq);
+            let kb = (pair[1].at, pair[1].shard, pair[1].seq);
+            prop_assert!(ka <= kb, "merged trace must be sorted");
+        }
+
+        // The whole merged telemetry report — events, ledger, metrics —
+        // is a pure function of the configuration.
+        prop_assert_eq!(tel, threaded.telemetry.as_ref().expect("telemetry enabled"));
+    }
+}
+
+/// Push-out evictions are attributed in the ledger: under LQD the
+/// overloaded demo evicts, every eviction lands in the `push-out`
+/// taxonomy row under the policy's name, and the totals still reconcile.
+#[test]
+fn eviction_ledger_attributes_push_outs() {
+    let mut cfg = ServiceConfig::steady_demo(13);
+    cfg.telemetry = Some(TelemetryConfig::default());
+    let flows = cfg.mix.flows();
+    let r = run_service(
+        &cfg,
+        1,
+        |_| LongestQueueDrop::new(0),
+        move |_| from_spec("drr:1518", flows).expect("static spec"),
+    );
+    let tel = r.telemetry.as_ref().expect("telemetry enabled");
+    let a = &r.aggregate;
+    assert!(a.evicted_pkts > 0, "LQD under overload must evict");
+    assert_eq!(tel.evicted_pkts, a.evicted_pkts);
+    assert_eq!(tel.counts.evictions, a.evicted_pkts);
+    let push_out: Vec<_> = tel
+        .taxonomy
+        .iter()
+        .filter(|row| row.cause == DropCause::PushOut)
+        .collect();
+    assert_eq!(push_out.len(), 1, "one policy, one push-out row");
+    assert_eq!(push_out[0].policy, "lqd");
+    assert_eq!(push_out[0].bucket.count, a.evicted_pkts);
+    assert!(
+        push_out[0].bucket.max_occupancy > 0,
+        "evictions happen against a loaded buffer"
+    );
 }
 
 /// The reconciliation also holds on the threaded driver (2 threads),
